@@ -1,0 +1,251 @@
+package scalesim_test
+
+// One benchmark per paper table and figure (quick parameter grids), plus
+// ablation benches for the design choices DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale regeneration lives in cmd/experiments.
+
+import (
+	"testing"
+
+	"scalesim"
+	"scalesim/internal/config"
+	"scalesim/internal/dram"
+	"scalesim/internal/experiments"
+	"scalesim/internal/sram"
+	"scalesim/internal/systolic"
+)
+
+func BenchmarkFig3PartitionTradeoff(b *testing.B) {
+	p := experiments.QuickFig3()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig3(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5SparsityMemory(b *testing.B) {
+	p := experiments.QuickFig5()
+	p.Layers = 2
+	p.SRAMSizesKB = []int{96}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7SparseStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8BlockSize(b *testing.B) {
+	p := experiments.DefaultFig8()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9DRAMChannels(b *testing.B) {
+	p := experiments.QuickFig9()
+	p.Layers = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig9(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10RequestQueues(b *testing.B) {
+	p := experiments.QuickFig10()
+	p.Layers = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig10(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12LayoutResNet(b *testing.B) {
+	p := experiments.QuickLayout()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunLayout(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13LayoutViT(b *testing.B) {
+	p := experiments.QuickLayout()
+	p.Workload = "vit_small"
+	p.Layers = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunLayout(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15EnergyDataflow(b *testing.B) {
+	p := experiments.QuickFig15()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig15(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3SystemStates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable3(8, 8)
+	}
+}
+
+func BenchmarkTable4Overhead(b *testing.B) {
+	p := experiments.QuickTable4()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable4(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5LatencyEnergyEdP(b *testing.B) {
+	p := experiments.QuickTable5()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable5(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6MultiCore(b *testing.B) {
+	p := experiments.QuickTable6()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable6(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDataflowDRAMStalls(b *testing.B) {
+	p := experiments.QuickDataflowDRAM()
+	p.Layers = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunDataflowDRAM(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+// benchMemoryRun replays one mid-size GEMM against a configurable DRAM
+// system; the ablation benches vary one knob at a time.
+func benchMemoryRun(b *testing.B, policy dram.RowPolicy, sched dram.Scheduler) {
+	b.Helper()
+	g := systolic.Gemm{M: 256, N: 128, K: 256}
+	for i := 0; i < b.N; i++ {
+		s, err := sram.BuildSchedule(config.WeightStationary, 32, 32, g, sram.ScheduleOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := dram.New(dram.DDR4_2400(), dram.Options{
+			Channels: 1, QueueDepth: 64, Policy: policy, Sched: sched,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sram.Simulate(s, sys, sram.Options{MaxRequestsPerCycle: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalCycles), "sim_cycles")
+		b.ReportMetric(res.DRAM.RowHitRate(), "row_hit_rate")
+	}
+}
+
+func BenchmarkDRAMRowPolicy(b *testing.B) {
+	b.Run("open-row", func(b *testing.B) { benchMemoryRun(b, dram.OpenRow, dram.FRFCFS) })
+	b.Run("close-row", func(b *testing.B) { benchMemoryRun(b, dram.CloseRow, dram.FRFCFS) })
+}
+
+func BenchmarkDRAMScheduler(b *testing.B) {
+	b.Run("fr-fcfs", func(b *testing.B) { benchMemoryRun(b, dram.OpenRow, dram.FRFCFS) })
+	b.Run("fcfs", func(b *testing.B) { benchMemoryRun(b, dram.OpenRow, dram.FCFS) })
+}
+
+// BenchmarkLayoutNaiveVsOptimized is the layout-choice ablation: the same
+// demand stream analyzed under a naive row-major layout and under the
+// stream-natural layout the simulator picks by default.
+func BenchmarkLayoutNaiveVsOptimized(b *testing.B) {
+	for _, naive := range []bool{false, true} {
+		name := "optimized"
+		if naive {
+			name = "naive"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := experiments.QuickLayout()
+			p.NaiveLayout = naive
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.RunLayout(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var worst float64
+				for _, q := range pts {
+					if q.Slowdown > worst {
+						worst = q.Slowdown
+					}
+				}
+				b.ReportMetric(worst, "worst_slowdown")
+			}
+		})
+	}
+}
+
+// BenchmarkDemandStream measures the raw cycle-accurate demand generator.
+func BenchmarkDemandStream(b *testing.B) {
+	g := systolic.Gemm{M: 512, N: 512, K: 512}
+	for _, df := range config.Dataflows() {
+		b.Run(df.String(), func(b *testing.B) {
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				err := systolic.Stream(df, 32, 32, g, func(d *systolic.Demand) bool {
+					sink += int64(d.Total())
+					return true
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkEndToEnd runs the public API on ResNet-18 with energy enabled.
+func BenchmarkEndToEnd(b *testing.B) {
+	cfg := scalesim.DefaultConfig()
+	cfg.Energy.Enabled = true
+	topo, err := scalesim.BuiltinTopology("resnet18")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := scalesim.New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Command scalesim runs the simulator on a configuration and topology and
+// writes the SCALE-Sim report CSVs.
+//
+// Usage:
+//
+//	scalesim -topology resnet18 -outdir ./out
+//	scalesim -config tpu.cfg -topology ./my_model.csv -dataflow ws
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scalesim"
+	"scalesim/internal/config"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scalesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		cfgPath  = flag.String("config", "", "SCALE-Sim .cfg file (default: built-in 32x32 config)")
+		topoArg  = flag.String("topology", "", "builtin model name or topology CSV path (required)")
+		dataflow = flag.String("dataflow", "", "override dataflow: os, ws or is")
+		outDir   = flag.String("outdir", ".", "directory for report CSVs")
+		sparsity = flag.String("sparsity", "", "force N:M sparsity on all layers (e.g. 2:4)")
+		memory   = flag.Bool("memory", false, "enable the cycle-accurate DRAM model")
+		energy   = flag.Bool("energy", false, "enable energy/power estimation")
+		layoutF  = flag.Bool("layout", false, "enable data-layout bank-conflict modeling")
+		preset   = flag.String("preset", "", "config preset: default, tpu or eyeriss")
+		list     = flag.Bool("list", false, "list builtin topologies and exit")
+		traces   = flag.Bool("traces", false, "write cycle-accurate SRAM/DRAM trace CSVs")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range scalesim.BuiltinTopologyNames() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	if *topoArg == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -topology")
+	}
+
+	cfg := scalesim.DefaultConfig()
+	switch strings.ToLower(*preset) {
+	case "", "default":
+	case "tpu":
+		cfg = scalesim.TPUConfig()
+	case "eyeriss":
+		cfg = config.EyerissLike()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	if *cfgPath != "" {
+		var err error
+		cfg, err = scalesim.LoadConfig(*cfgPath)
+		if err != nil {
+			return err
+		}
+	}
+	if *dataflow != "" {
+		df, err := config.ParseDataflow(*dataflow)
+		if err != nil {
+			return err
+		}
+		cfg.Dataflow = df
+	}
+	cfg.Memory.Enabled = cfg.Memory.Enabled || *memory
+	cfg.Energy.Enabled = cfg.Energy.Enabled || *energy
+	cfg.Layout.Enabled = cfg.Layout.Enabled || *layoutF
+
+	topo, err := loadTopology(*topoArg)
+	if err != nil {
+		return err
+	}
+	if *sparsity != "" {
+		sp, err := scalesim.ParseSparsity(*sparsity)
+		if err != nil {
+			return err
+		}
+		topo = topo.WithSparsity(sp)
+		cfg.Sparsity.Enabled = true
+	}
+
+	sim := scalesim.New(cfg)
+	res, err := sim.Run(topo)
+	if err != nil {
+		return err
+	}
+	if *traces {
+		if err := sim.WriteTraces(topo, filepath.Join(*outDir, "traces")); err != nil {
+			return err
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	files := map[string]*os.File{}
+	open := func(name string) (*os.File, error) {
+		f, err := os.Create(filepath.Join(*outDir, name))
+		if err != nil {
+			return nil, err
+		}
+		files[name] = f
+		return f, nil
+	}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	comp, err := open("COMPUTE_REPORT.csv")
+	if err != nil {
+		return err
+	}
+	bw, err := open("BANDWIDTH_REPORT.csv")
+	if err != nil {
+		return err
+	}
+	var mem, sp, en *os.File
+	if cfg.Memory.Enabled {
+		if mem, err = open("MEMORY_REPORT.csv"); err != nil {
+			return err
+		}
+	}
+	if cfg.Sparsity.Enabled {
+		if sp, err = open("SPARSE_REPORT.csv"); err != nil {
+			return err
+		}
+	}
+	if cfg.Energy.Enabled {
+		if en, err = open("ENERGY_REPORT.csv"); err != nil {
+			return err
+		}
+	}
+	if err := scalesim.WriteReports(res, comp, bw, fileOrNil(mem), fileOrNil(sp), fileOrNil(en)); err != nil {
+		return err
+	}
+	fmt.Println(res.Summary())
+	fmt.Printf("reports written to %s\n", *outDir)
+	return nil
+}
+
+// fileOrNil converts a possibly-nil *os.File into a nil io.Writer interface
+// (a typed nil would defeat the nil checks in WriteReports).
+func fileOrNil(f *os.File) interfaceWriter {
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+type interfaceWriter = interface{ Write([]byte) (int, error) }
+
+func loadTopology(arg string) (*scalesim.Topology, error) {
+	for _, n := range scalesim.BuiltinTopologyNames() {
+		if n == arg {
+			return scalesim.BuiltinTopology(arg)
+		}
+	}
+	return scalesim.LoadTopology(arg)
+}

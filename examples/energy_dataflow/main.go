@@ -1,0 +1,67 @@
+// Energy/dataflow exploration: compare latency, energy and energy-delay
+// product across dataflows and array sizes for ViT-base — reproducing the
+// paper's headline design-space finding that the latency-optimal 128×128
+// array is not the energy- or EdP-optimal choice.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"scalesim"
+)
+
+func main() {
+	topo, err := scalesim.BuiltinTopology("vit_base")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataflow\tarray\tcycles\tenergy(mJ)\tEdP(cycle*mJ)")
+	type best struct {
+		label string
+		val   float64
+	}
+	bestLat := best{val: 1e300}
+	bestEn := best{val: 1e300}
+	bestEdP := best{val: 1e300}
+
+	for _, df := range []scalesim.Dataflow{
+		scalesim.OutputStationary, scalesim.WeightStationary, scalesim.InputStationary,
+	} {
+		for _, arr := range []int{32, 64, 128} {
+			cfg := scalesim.DefaultConfig()
+			cfg.ArrayRows, cfg.ArrayCols = arr, arr
+			cfg.Dataflow = df
+			cfg.Energy.Enabled = true
+
+			res, err := scalesim.New(cfg).Run(topo)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles := res.TotalCycles()
+			mj := res.TotalEnergyMJ()
+			edp := float64(cycles) * mj
+			label := fmt.Sprintf("%v/%dx%d", df, arr, arr)
+			fmt.Fprintf(tw, "%v\t%dx%d\t%d\t%.3f\t%.1f\n", df, arr, arr, cycles, mj, edp)
+			if v := float64(cycles); v < bestLat.val {
+				bestLat = best{label, v}
+			}
+			if mj < bestEn.val {
+				bestEn = best{label, mj}
+			}
+			if edp < bestEdP.val {
+				bestEdP = best{label, edp}
+			}
+		}
+	}
+	tw.Flush()
+
+	fmt.Printf("\nbest latency: %s\nbest energy:  %s\nbest EdP:     %s\n",
+		bestLat.label, bestEn.label, bestEdP.label)
+	fmt.Println("\nNote how the winners differ — latency alone (the v2 view) picks a")
+	fmt.Println("different design than energy or EdP (the v3 view).")
+}

@@ -1,0 +1,42 @@
+// Quickstart: simulate ResNet-18 on the default 32×32 output-stationary
+// accelerator with energy estimation, and print the per-layer report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"scalesim"
+)
+
+func main() {
+	cfg := scalesim.DefaultConfig()
+	cfg.Energy.Enabled = true
+
+	topo, err := scalesim.BuiltinTopology("resnet18")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := scalesim.New(cfg).Run(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "layer\tM\tN\tK\tcycles\tutil\tenergy(mJ)")
+	for _, l := range res.Layers {
+		e := 0.0
+		if l.Energy != nil {
+			e = l.Energy.TotalMJ()
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.3f\t%.4f\n",
+			l.Layer.Name, l.M, l.N, l.K, l.TotalCycles, l.Utilization, e)
+	}
+	tw.Flush()
+
+	s := res.Summary()
+	fmt.Printf("\ntotal: %s\n", s)
+}

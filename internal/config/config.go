@@ -1,0 +1,429 @@
+// Package config holds the simulator configuration: the SCALE-Sim v2 knobs
+// (array shape, SRAM sizes, dataflow, bandwidth) plus the v3 sections for
+// sparsity, main-memory integration, data layout, energy and multi-core
+// simulation. Configurations can be built programmatically or parsed from
+// SCALE-Sim's INI-style .cfg files.
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dataflow selects how the GEMM is mapped onto the systolic array.
+type Dataflow int
+
+const (
+	// OutputStationary pins each output element to a PE (Sr=M, Sc=N, T=K).
+	OutputStationary Dataflow = iota
+	// WeightStationary pins the filter operand (Sr=K, Sc=M, T=N).
+	WeightStationary
+	// InputStationary pins the input operand (Sr=K, Sc=N, T=M).
+	InputStationary
+)
+
+func (d Dataflow) String() string {
+	switch d {
+	case OutputStationary:
+		return "os"
+	case WeightStationary:
+		return "ws"
+	case InputStationary:
+		return "is"
+	default:
+		return fmt.Sprintf("Dataflow(%d)", int(d))
+	}
+}
+
+// ParseDataflow accepts "os", "ws", "is" (case-insensitive) and common
+// long-form spellings.
+func ParseDataflow(s string) (Dataflow, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "os", "output_stationary", "outputstationary":
+		return OutputStationary, nil
+	case "ws", "weight_stationary", "weightstationary":
+		return WeightStationary, nil
+	case "is", "input_stationary", "inputstationary":
+		return InputStationary, nil
+	}
+	return 0, fmt.Errorf("config: unknown dataflow %q", s)
+}
+
+// Dataflows lists all three classic dataflows in a stable order.
+func Dataflows() []Dataflow {
+	return []Dataflow{OutputStationary, WeightStationary, InputStationary}
+}
+
+// SparseFormat selects the compressed representation used for sparse
+// filter operands.
+type SparseFormat int
+
+const (
+	// BlockedELLPACK stores fixed-size blocks of non-zeros plus
+	// log2(blockSize)-bit column metadata per element (the paper default).
+	BlockedELLPACK SparseFormat = iota
+	// CSR is compressed sparse row.
+	CSR
+	// CSC is compressed sparse column.
+	CSC
+)
+
+func (f SparseFormat) String() string {
+	switch f {
+	case BlockedELLPACK:
+		return "ellpack_block"
+	case CSR:
+		return "csr"
+	case CSC:
+		return "csc"
+	default:
+		return fmt.Sprintf("SparseFormat(%d)", int(f))
+	}
+}
+
+// ParseSparseFormat parses a sparse representation name.
+func ParseSparseFormat(s string) (SparseFormat, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "ellpack_block", "blocked_ellpack", "ellpack":
+		return BlockedELLPACK, nil
+	case "csr":
+		return CSR, nil
+	case "csc":
+		return CSC, nil
+	}
+	return 0, fmt.Errorf("config: unknown sparse format %q", s)
+}
+
+// SparsityConfig is the v3 "sparsity" configuration section.
+type SparsityConfig struct {
+	// Enabled turns sparse simulation on (SparsitySupport knob).
+	Enabled bool
+	// OptimizedMapping selects row-wise sparsity with per-row randomized
+	// N (true) instead of layer-wise uniform sparsity (false).
+	OptimizedMapping bool
+	// Format is the compressed representation (SparseRep knob).
+	Format SparseFormat
+	// BlockSize is M in the N:M ratio for row-wise sparsity.
+	BlockSize int
+	// Seed makes randomized row-wise sparsity deterministic.
+	Seed int64
+}
+
+// MemoryConfig is the v3 main-memory integration section.
+type MemoryConfig struct {
+	// Enabled turns the cycle-accurate DRAM model on; when false the
+	// interface behaves like v2 (pure bandwidth, zero latency).
+	Enabled bool
+	// Technology is the DRAM preset name ("DDR4", "HBM2", "LPDDR4", ...).
+	Technology string
+	// Channels is the number of independent DRAM channels.
+	Channels int
+	// ReadQueueDepth and WriteQueueDepth bound in-flight transactions;
+	// a full queue stalls the accelerator.
+	ReadQueueDepth  int
+	WriteQueueDepth int
+}
+
+// LayoutConfig is the v3 on-chip data layout section.
+type LayoutConfig struct {
+	// Enabled turns bank-conflict modeling on.
+	Enabled bool
+	// Banks is the number of SRAM banks sharing the global bandwidth.
+	Banks int
+	// PortsPerBank is the number of concurrent line accesses per bank.
+	PortsPerBank int
+	// OnChipBandwidth is total words deliverable per cycle (the baseline
+	// pure-bandwidth model divides demand by this).
+	OnChipBandwidth int
+}
+
+// EnergyConfig is the v3 energy/power section.
+type EnergyConfig struct {
+	// Enabled turns Accelergy-style estimation on.
+	Enabled bool
+	// Technology tags the ERT ("65nm" default).
+	Technology string
+	// ClockGating models unused MACs as gated rather than constant.
+	ClockGating bool
+	// RowSize is the words fetched per SRAM access (repeat-read window).
+	RowSize int
+	// BankSize is the number of SRAM row buffers usable for reuse.
+	BankSize int
+	// FrequencyMHz converts cycles to time for power numbers.
+	FrequencyMHz float64
+	// IncludeDRAM folds main-memory access energy into the totals.
+	// Off by default: the Accelergy scope is the accelerator chip (GLB,
+	// NoC, PE array); DRAM statistics come from the memory model.
+	IncludeDRAM bool
+}
+
+// PartitionStrategy selects how a multi-core workload is split.
+type PartitionStrategy int
+
+const (
+	// SpatialPartition splits both spatial dims (Eq. 1).
+	SpatialPartition PartitionStrategy = iota
+	// SpatioTemporal1 splits Sr spatially and T temporally (Eq. 2).
+	SpatioTemporal1
+	// SpatioTemporal2 splits Sc spatially and T temporally (Eq. 3).
+	SpatioTemporal2
+)
+
+func (p PartitionStrategy) String() string {
+	switch p {
+	case SpatialPartition:
+		return "spatial"
+	case SpatioTemporal1:
+		return "spatiotemporal1"
+	case SpatioTemporal2:
+		return "spatiotemporal2"
+	default:
+		return fmt.Sprintf("PartitionStrategy(%d)", int(p))
+	}
+}
+
+// ParsePartitionStrategy parses a partition strategy name.
+func ParsePartitionStrategy(s string) (PartitionStrategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "spatial":
+		return SpatialPartition, nil
+	case "spatiotemporal1", "st1":
+		return SpatioTemporal1, nil
+	case "spatiotemporal2", "st2":
+		return SpatioTemporal2, nil
+	}
+	return 0, fmt.Errorf("config: unknown partition strategy %q", s)
+}
+
+// CoreSpec describes one tensor core: a systolic array plus a SIMD unit.
+// Heterogeneous multi-core configs list cores with differing shapes.
+type CoreSpec struct {
+	Rows int // systolic array rows
+	Cols int // systolic array columns
+	// SIMDLanes is the vector unit width (0 = no vector unit).
+	SIMDLanes int
+	// SIMDLatency is cycles per vector op batch (lookup/activation).
+	SIMDLatency int
+	// NoPHops is the network-on-package distance from main memory,
+	// used for non-uniform workload partitioning.
+	NoPHops int
+}
+
+// MultiCoreConfig is the v3 multi-core section.
+type MultiCoreConfig struct {
+	// Enabled turns multi-core simulation on.
+	Enabled bool
+	// PartitionRows (Pr) and PartitionCols (Pc) give the partition grid;
+	// cores = Pr × Pc. When zero the partition search picks them.
+	PartitionRows int
+	PartitionCols int
+	// Strategy selects spatial vs spatio-temporal partitioning.
+	Strategy PartitionStrategy
+	// L2SizeKB is the shared L2 scratchpad per core cluster (0 = no L2).
+	L2SizeKB int
+	// Cores describes each tensor core. Homogeneous configs may leave it
+	// empty and inherit the top-level array shape.
+	Cores []CoreSpec
+	// NonUniform enables NoP-latency-driven non-uniform partitioning.
+	NonUniform bool
+	// HopLatency is cycles per NoP hop for non-uniform partitioning.
+	HopLatency int
+}
+
+// Config is the complete simulator configuration.
+type Config struct {
+	// RunName labels reports and trace files.
+	RunName string
+
+	// ArrayRows and ArrayCols are the systolic array dimensions (R, C).
+	ArrayRows int
+	ArrayCols int
+
+	// IfmapSRAMKB, FilterSRAMKB and OfmapSRAMKB are the double-buffered
+	// L1 scratchpad sizes in kilobytes.
+	IfmapSRAMKB  int
+	FilterSRAMKB int
+	OfmapSRAMKB  int
+
+	// Dataflow is the mapping strategy.
+	Dataflow Dataflow
+
+	// BandwidthWords is the interface bandwidth in words per cycle used
+	// by the v2-style bandwidth model.
+	BandwidthWords int
+
+	// WordBytes is the operand word size (default 4).
+	WordBytes int
+
+	Sparsity  SparsityConfig
+	Memory    MemoryConfig
+	Layout    LayoutConfig
+	Energy    EnergyConfig
+	MultiCore MultiCoreConfig
+}
+
+// Default returns a small, valid single-core configuration (32×32, 512 kB
+// SRAMs, output stationary, 10 words/cycle) mirroring SCALE-Sim defaults.
+func Default() Config {
+	return Config{
+		RunName:        "scale_sim_run",
+		ArrayRows:      32,
+		ArrayCols:      32,
+		IfmapSRAMKB:    512,
+		FilterSRAMKB:   512,
+		OfmapSRAMKB:    256,
+		Dataflow:       OutputStationary,
+		BandwidthWords: 10,
+		WordBytes:      4,
+		Energy: EnergyConfig{
+			Technology:   "65nm",
+			ClockGating:  true,
+			RowSize:      16,
+			BankSize:     4,
+			FrequencyMHz: 1000,
+		},
+		Memory: MemoryConfig{
+			Technology:      "DDR4",
+			Channels:        1,
+			ReadQueueDepth:  128,
+			WriteQueueDepth: 128,
+		},
+		Layout: LayoutConfig{
+			Banks:           8,
+			PortsPerBank:    2,
+			OnChipBandwidth: 128,
+		},
+	}
+}
+
+// TPUv2Like returns a Google TPU-v2-ish configuration: a 128×128 MXU with
+// large unified buffers — the configuration the paper's memory experiments
+// run under.
+func TPUv2Like() Config {
+	c := Default()
+	c.RunName = "tpu_v2_like"
+	c.ArrayRows = 128
+	c.ArrayCols = 128
+	c.IfmapSRAMKB = 12 * 1024
+	c.FilterSRAMKB = 12 * 1024
+	c.OfmapSRAMKB = 8 * 1024
+	c.Dataflow = WeightStationary
+	c.BandwidthWords = 64
+	c.Memory.ReadQueueDepth = 128
+	c.Memory.WriteQueueDepth = 128
+	return c
+}
+
+// EyerissLike returns an Eyeriss-ish configuration: 12×14 array with
+// small scratchpads, used by the energy validation experiments.
+func EyerissLike() Config {
+	c := Default()
+	c.RunName = "eyeriss_like"
+	c.ArrayRows = 12
+	c.ArrayCols = 14
+	c.IfmapSRAMKB = 64
+	c.FilterSRAMKB = 64
+	c.OfmapSRAMKB = 32
+	c.Dataflow = OutputStationary
+	c.BandwidthWords = 4
+	return c
+}
+
+// Validate reports a descriptive error for the first invalid field.
+func (c *Config) Validate() error {
+	if c.ArrayRows <= 0 || c.ArrayCols <= 0 {
+		return fmt.Errorf("config: non-positive array %dx%d", c.ArrayRows, c.ArrayCols)
+	}
+	if c.IfmapSRAMKB < 0 || c.FilterSRAMKB < 0 || c.OfmapSRAMKB < 0 {
+		return fmt.Errorf("config: negative SRAM size")
+	}
+	if c.BandwidthWords <= 0 {
+		return fmt.Errorf("config: non-positive bandwidth %d", c.BandwidthWords)
+	}
+	if c.WordBytes <= 0 {
+		return fmt.Errorf("config: non-positive word size %d", c.WordBytes)
+	}
+	if c.Sparsity.Enabled {
+		if c.Sparsity.BlockSize < 0 {
+			return fmt.Errorf("config: negative sparsity block size %d", c.Sparsity.BlockSize)
+		}
+		if c.Sparsity.OptimizedMapping && c.Sparsity.BlockSize == 0 {
+			return fmt.Errorf("config: row-wise sparsity (OptimizedMapping) needs BlockSize")
+		}
+	}
+	if c.Memory.Enabled {
+		if c.Memory.Channels <= 0 {
+			return fmt.Errorf("config: non-positive DRAM channel count %d", c.Memory.Channels)
+		}
+		if c.Memory.ReadQueueDepth <= 0 || c.Memory.WriteQueueDepth <= 0 {
+			return fmt.Errorf("config: non-positive memory request queue depth")
+		}
+	}
+	if c.Layout.Enabled {
+		if c.Layout.Banks <= 0 {
+			return fmt.Errorf("config: non-positive bank count %d", c.Layout.Banks)
+		}
+		if c.Layout.PortsPerBank <= 0 {
+			return fmt.Errorf("config: non-positive ports per bank %d", c.Layout.PortsPerBank)
+		}
+		if c.Layout.OnChipBandwidth <= 0 {
+			return fmt.Errorf("config: non-positive on-chip bandwidth %d", c.Layout.OnChipBandwidth)
+		}
+	}
+	if c.MultiCore.Enabled {
+		if c.MultiCore.PartitionRows < 0 || c.MultiCore.PartitionCols < 0 {
+			return fmt.Errorf("config: negative partition grid")
+		}
+		for i, core := range c.MultiCore.Cores {
+			if core.Rows <= 0 || core.Cols <= 0 {
+				return fmt.Errorf("config: core %d has non-positive array %dx%d", i, core.Rows, core.Cols)
+			}
+		}
+	}
+	return nil
+}
+
+// NumCores returns the configured core count (1 when multi-core is off).
+func (c *Config) NumCores() int {
+	if !c.MultiCore.Enabled {
+		return 1
+	}
+	if len(c.MultiCore.Cores) > 0 {
+		return len(c.MultiCore.Cores)
+	}
+	pr, pc := c.MultiCore.PartitionRows, c.MultiCore.PartitionCols
+	if pr <= 0 {
+		pr = 1
+	}
+	if pc <= 0 {
+		pc = 1
+	}
+	return pr * pc
+}
+
+// CoreSpecs returns the per-core descriptions, synthesizing a homogeneous
+// list from the top-level array shape when none are listed.
+func (c *Config) CoreSpecs() []CoreSpec {
+	if len(c.MultiCore.Cores) > 0 {
+		out := make([]CoreSpec, len(c.MultiCore.Cores))
+		copy(out, c.MultiCore.Cores)
+		return out
+	}
+	n := c.NumCores()
+	out := make([]CoreSpec, n)
+	for i := range out {
+		out[i] = CoreSpec{Rows: c.ArrayRows, Cols: c.ArrayCols}
+	}
+	return out
+}
+
+// SRAMWords returns the capacity in words of the three L1 SRAMs.
+func (c *Config) SRAMWords() (ifmap, filter, ofmap int64) {
+	w := int64(c.WordBytes)
+	if w == 0 {
+		w = 4
+	}
+	return int64(c.IfmapSRAMKB) * 1024 / w,
+		int64(c.FilterSRAMKB) * 1024 / w,
+		int64(c.OfmapSRAMKB) * 1024 / w
+}

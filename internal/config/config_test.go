@@ -1,0 +1,218 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"default": Default(), "tpu": TPUv2Like(), "eyeriss": EyerissLike(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParseDataflow(t *testing.T) {
+	for in, want := range map[string]Dataflow{
+		"os": OutputStationary, "WS": WeightStationary, "Is": InputStationary,
+		"output_stationary": OutputStationary,
+	} {
+		got, err := ParseDataflow(in)
+		if err != nil || got != want {
+			t.Errorf("%q: got %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseDataflow("rs"); err == nil {
+		t.Error("row stationary accepted")
+	}
+}
+
+func TestParseINIFull(t *testing.T) {
+	src := `
+# SCALE-Sim v3 configuration
+[general]
+run_name = my_run
+
+[architecture_presets]
+ArrayHeight : 64
+ArrayWidth  : 32
+IfmapSramSzkB : 256
+FilterSramSzkB : 256
+OfmapSramSzkB : 128
+Dataflow : ws
+Bandwidth : 20
+
+[sparsity]
+SparsitySupport : true
+OptimizedMapping : true
+SparseRep : ellpack_block
+BlockSize : 8
+
+[memory]
+enabled = true
+technology = HBM2
+channels = 4
+read_queue_depth = 64
+write_queue_depth = 32
+
+[layout]
+enabled = true
+banks = 16
+ports_per_bank = 2
+on_chip_bandwidth = 256
+
+[energy]
+enabled = true
+clock_gating = false
+row_size = 32
+bank_size = 8
+frequency_mhz = 940
+
+[multicore]
+enabled = true
+strategy = spatiotemporal1
+pr = 4
+pc = 2
+l2_size_kb = 2048
+`
+	cfg, err := ParseINI(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RunName != "my_run" || cfg.ArrayRows != 64 || cfg.ArrayCols != 32 {
+		t.Errorf("general/arch wrong: %+v", cfg)
+	}
+	if cfg.Dataflow != WeightStationary || cfg.BandwidthWords != 20 {
+		t.Errorf("dataflow/bandwidth wrong")
+	}
+	if !cfg.Sparsity.Enabled || !cfg.Sparsity.OptimizedMapping || cfg.Sparsity.BlockSize != 8 {
+		t.Errorf("sparsity wrong: %+v", cfg.Sparsity)
+	}
+	if cfg.Memory.Technology != "HBM2" || cfg.Memory.Channels != 4 ||
+		cfg.Memory.ReadQueueDepth != 64 || cfg.Memory.WriteQueueDepth != 32 {
+		t.Errorf("memory wrong: %+v", cfg.Memory)
+	}
+	if cfg.Layout.Banks != 16 || cfg.Layout.OnChipBandwidth != 256 {
+		t.Errorf("layout wrong: %+v", cfg.Layout)
+	}
+	if cfg.Energy.ClockGating || cfg.Energy.RowSize != 32 || cfg.Energy.FrequencyMHz != 940 {
+		t.Errorf("energy wrong: %+v", cfg.Energy)
+	}
+	if cfg.MultiCore.Strategy != SpatioTemporal1 ||
+		cfg.MultiCore.PartitionRows != 4 || cfg.MultiCore.PartitionCols != 2 {
+		t.Errorf("multicore wrong: %+v", cfg.MultiCore)
+	}
+	if cfg.NumCores() != 8 {
+		t.Errorf("NumCores %d, want 8", cfg.NumCores())
+	}
+}
+
+func TestParseINIHeterogeneousCores(t *testing.T) {
+	src := `
+[multicore]
+enabled = true
+cores = 32x32/simd=8, 16x16/simd=4/hops=2, 64x64
+`
+	cfg, err := ParseINI(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := cfg.CoreSpecs()
+	if len(cores) != 3 {
+		t.Fatalf("got %d cores", len(cores))
+	}
+	if cores[0] != (CoreSpec{Rows: 32, Cols: 32, SIMDLanes: 8}) {
+		t.Errorf("core0 %+v", cores[0])
+	}
+	if cores[1].NoPHops != 2 || cores[1].SIMDLanes != 4 {
+		t.Errorf("core1 %+v", cores[1])
+	}
+	if cfg.NumCores() != 3 {
+		t.Errorf("NumCores %d", cfg.NumCores())
+	}
+}
+
+func TestParseINIRejectsUnknown(t *testing.T) {
+	bad := []string{
+		"[architecture_presets]\nArrayDepth : 3\n",
+		"[nonsense]\nkey = 1\n",
+		"[architecture_presets]\nArrayHeight : many\n",
+		"no_equals_here\n",
+		"[sparsity]\nSparsitySupport = maybe\n",
+	}
+	for i, src := range bad {
+		if _, err := ParseINI(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.ArrayRows = 0 },
+		func(c *Config) { c.BandwidthWords = 0 },
+		func(c *Config) { c.WordBytes = -1 },
+		func(c *Config) { c.Memory.Enabled = true; c.Memory.Channels = 0 },
+		func(c *Config) { c.Layout.Enabled = true; c.Layout.Banks = 0 },
+		func(c *Config) {
+			c.Sparsity.Enabled = true
+			c.Sparsity.OptimizedMapping = true
+			c.Sparsity.BlockSize = 0
+		},
+		func(c *Config) {
+			c.MultiCore.Enabled = true
+			c.MultiCore.Cores = []CoreSpec{{Rows: 0, Cols: 4}}
+		},
+	}
+	for i, f := range mut {
+		cfg := Default()
+		f(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSRAMWords(t *testing.T) {
+	cfg := Default()
+	cfg.IfmapSRAMKB = 4
+	cfg.WordBytes = 4
+	i, _, _ := cfg.SRAMWords()
+	if i != 1024 {
+		t.Errorf("4 kB at 4 B/word = %d words, want 1024", i)
+	}
+}
+
+func TestCoreSpecsHomogeneousSynthesis(t *testing.T) {
+	cfg := Default()
+	cfg.MultiCore.Enabled = true
+	cfg.MultiCore.PartitionRows = 2
+	cfg.MultiCore.PartitionCols = 3
+	specs := cfg.CoreSpecs()
+	if len(specs) != 6 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	for _, s := range specs {
+		if s.Rows != cfg.ArrayRows || s.Cols != cfg.ArrayCols {
+			t.Errorf("spec %+v does not inherit array shape", s)
+		}
+	}
+}
+
+func TestPartitionStrategyParse(t *testing.T) {
+	for in, want := range map[string]PartitionStrategy{
+		"spatial": SpatialPartition, "st1": SpatioTemporal1,
+		"spatiotemporal2": SpatioTemporal2,
+	} {
+		got, err := ParsePartitionStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("%q: %v %v", in, got, err)
+		}
+	}
+	if _, err := ParsePartitionStrategy("temporal"); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}

@@ -1,0 +1,347 @@
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseINI reads a SCALE-Sim style .cfg file. Sections are bracketed
+// ([general], [architecture_presets], [sparsity], [memory], [layout],
+// [energy], [multicore]); keys are case-insensitive with spaces, dashes and
+// underscores interchangeable. Unknown keys are rejected so typos surface.
+//
+// Example:
+//
+//	[general]
+//	run_name = my_run
+//
+//	[architecture_presets]
+//	ArrayHeight : 32
+//	ArrayWidth  : 32
+//	IfmapSramSzkB : 512
+//	FilterSramSzkB : 512
+//	OfmapSramSzkB : 256
+//	Dataflow : os
+//	Bandwidth : 10
+//
+//	[sparsity]
+//	SparsitySupport : true
+//	OptimizedMapping : false
+//	SparseRep : ellpack_block
+//	BlockSize : 4
+func ParseINI(r io.Reader) (Config, error) {
+	cfg := Default()
+	section := ""
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]") {
+			section = canonKey(line[1 : len(line)-1])
+			continue
+		}
+		key, val, err := splitKV(line)
+		if err != nil {
+			return cfg, fmt.Errorf("config: line %d: %w", lineNo, err)
+		}
+		if err := applyKV(&cfg, section, key, val); err != nil {
+			return cfg, fmt.Errorf("config: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return cfg, err
+	}
+	return cfg, cfg.Validate()
+}
+
+// LoadINI parses the configuration file at path.
+func LoadINI(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	return ParseINI(f)
+}
+
+func splitKV(line string) (key, val string, err error) {
+	sep := strings.IndexAny(line, "=:")
+	if sep < 0 {
+		return "", "", fmt.Errorf("expected key = value, got %q", line)
+	}
+	key = canonKey(line[:sep])
+	val = strings.TrimSpace(line[sep+1:])
+	if key == "" {
+		return "", "", fmt.Errorf("empty key in %q", line)
+	}
+	return key, val, nil
+}
+
+// canonKey lower-cases and strips separators so "Array Height",
+// "array_height" and "ArrayHeight" all match.
+func canonKey(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '_', '-':
+			return -1
+		}
+		return r
+	}, s)
+}
+
+func parseBool(val string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(val)) {
+	case "true", "yes", "on", "1":
+		return true, nil
+	case "false", "no", "off", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("invalid boolean %q", val)
+}
+
+func applyKV(cfg *Config, section, key, val string) error {
+	atoi := func() (int, error) {
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, fmt.Errorf("key %s: invalid integer %q", key, val)
+		}
+		return v, nil
+	}
+	switch section {
+	case "general", "":
+		switch key {
+		case "runname":
+			cfg.RunName = val
+			return nil
+		}
+	case "architecturepresets", "architecture":
+		switch key {
+		case "arrayheight", "arrayrows":
+			v, err := atoi()
+			cfg.ArrayRows = v
+			return err
+		case "arraywidth", "arraycols":
+			v, err := atoi()
+			cfg.ArrayCols = v
+			return err
+		case "ifmapsramszkb", "ifmapsramkb":
+			v, err := atoi()
+			cfg.IfmapSRAMKB = v
+			return err
+		case "filtersramszkb", "filtersramkb":
+			v, err := atoi()
+			cfg.FilterSRAMKB = v
+			return err
+		case "ofmapsramszkb", "ofmapsramkb":
+			v, err := atoi()
+			cfg.OfmapSRAMKB = v
+			return err
+		case "dataflow":
+			df, err := ParseDataflow(val)
+			cfg.Dataflow = df
+			return err
+		case "bandwidth", "bandwidthwords":
+			v, err := atoi()
+			cfg.BandwidthWords = v
+			return err
+		case "wordbytes":
+			v, err := atoi()
+			cfg.WordBytes = v
+			return err
+		}
+	case "sparsity":
+		switch key {
+		case "sparsitysupport", "enabled":
+			v, err := parseBool(val)
+			cfg.Sparsity.Enabled = v
+			return err
+		case "optimizedmapping":
+			v, err := parseBool(val)
+			cfg.Sparsity.OptimizedMapping = v
+			return err
+		case "sparserep", "format":
+			f, err := ParseSparseFormat(val)
+			cfg.Sparsity.Format = f
+			return err
+		case "blocksize":
+			v, err := atoi()
+			cfg.Sparsity.BlockSize = v
+			return err
+		case "seed":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("key %s: invalid integer %q", key, val)
+			}
+			cfg.Sparsity.Seed = v
+			return nil
+		}
+	case "memory":
+		switch key {
+		case "enabled":
+			v, err := parseBool(val)
+			cfg.Memory.Enabled = v
+			return err
+		case "technology", "dramtech":
+			cfg.Memory.Technology = val
+			return nil
+		case "channels":
+			v, err := atoi()
+			cfg.Memory.Channels = v
+			return err
+		case "readqueuedepth", "readqueue":
+			v, err := atoi()
+			cfg.Memory.ReadQueueDepth = v
+			return err
+		case "writequeuedepth", "writequeue":
+			v, err := atoi()
+			cfg.Memory.WriteQueueDepth = v
+			return err
+		}
+	case "layout":
+		switch key {
+		case "enabled":
+			v, err := parseBool(val)
+			cfg.Layout.Enabled = v
+			return err
+		case "banks", "numbanks":
+			v, err := atoi()
+			cfg.Layout.Banks = v
+			return err
+		case "portsperbank", "numports":
+			v, err := atoi()
+			cfg.Layout.PortsPerBank = v
+			return err
+		case "onchipbandwidth":
+			v, err := atoi()
+			cfg.Layout.OnChipBandwidth = v
+			return err
+		}
+	case "energy":
+		switch key {
+		case "enabled":
+			v, err := parseBool(val)
+			cfg.Energy.Enabled = v
+			return err
+		case "technology":
+			cfg.Energy.Technology = val
+			return nil
+		case "clockgating":
+			v, err := parseBool(val)
+			cfg.Energy.ClockGating = v
+			return err
+		case "rowsize":
+			v, err := atoi()
+			cfg.Energy.RowSize = v
+			return err
+		case "banksize":
+			v, err := atoi()
+			cfg.Energy.BankSize = v
+			return err
+		case "frequencymhz":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("key %s: invalid float %q", key, val)
+			}
+			cfg.Energy.FrequencyMHz = v
+			return nil
+		}
+	case "multicore":
+		switch key {
+		case "enabled":
+			v, err := parseBool(val)
+			cfg.MultiCore.Enabled = v
+			return err
+		case "partitionrows", "pr":
+			v, err := atoi()
+			cfg.MultiCore.PartitionRows = v
+			return err
+		case "partitioncols", "pc":
+			v, err := atoi()
+			cfg.MultiCore.PartitionCols = v
+			return err
+		case "strategy":
+			st, err := ParsePartitionStrategy(val)
+			cfg.MultiCore.Strategy = st
+			return err
+		case "l2sizekb":
+			v, err := atoi()
+			cfg.MultiCore.L2SizeKB = v
+			return err
+		case "nonuniform":
+			v, err := parseBool(val)
+			cfg.MultiCore.NonUniform = v
+			return err
+		case "hoplatency":
+			v, err := atoi()
+			cfg.MultiCore.HopLatency = v
+			return err
+		case "cores":
+			cores, err := parseCoreList(val)
+			cfg.MultiCore.Cores = cores
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown section %q", section)
+	}
+	return fmt.Errorf("unknown key %q in section %q", key, section)
+}
+
+// parseCoreList parses a heterogeneous core list such as
+// "32x32/simd=8, 16x16/simd=4/hops=2, 64x64".
+func parseCoreList(val string) ([]CoreSpec, error) {
+	var cores []CoreSpec
+	for _, item := range strings.Split(val, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, "/")
+		dims := strings.Split(strings.ToLower(parts[0]), "x")
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("invalid core shape %q (want RxC)", parts[0])
+		}
+		r, err := strconv.Atoi(strings.TrimSpace(dims[0]))
+		if err != nil {
+			return nil, fmt.Errorf("invalid core rows %q", dims[0])
+		}
+		c, err := strconv.Atoi(strings.TrimSpace(dims[1]))
+		if err != nil {
+			return nil, fmt.Errorf("invalid core cols %q", dims[1])
+		}
+		spec := CoreSpec{Rows: r, Cols: c}
+		for _, opt := range parts[1:] {
+			kv := strings.SplitN(opt, "=", 2)
+			if len(kv) != 2 {
+				return nil, fmt.Errorf("invalid core option %q", opt)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(kv[1]))
+			if err != nil {
+				return nil, fmt.Errorf("invalid core option value %q", kv[1])
+			}
+			switch canonKey(kv[0]) {
+			case "simd":
+				spec.SIMDLanes = v
+			case "simdlatency":
+				spec.SIMDLatency = v
+			case "hops":
+				spec.NoPHops = v
+			default:
+				return nil, fmt.Errorf("unknown core option %q", kv[0])
+			}
+		}
+		cores = append(cores, spec)
+	}
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("empty core list")
+	}
+	return cores, nil
+}

@@ -1,0 +1,561 @@
+package dram
+
+import (
+	"fmt"
+)
+
+// Request is one memory transaction submitted to the DRAM system.
+type Request struct {
+	// Arrive is the cycle at which the request enters the controller.
+	Arrive int64
+	// Addr is the byte address.
+	Addr int64
+	// Write distinguishes stores from loads.
+	Write bool
+
+	// Done is filled by the simulator: the cycle at which the read data
+	// returned (or the write was issued to the bank).
+	Done int64
+}
+
+// Latency returns the round-trip latency in cycles.
+func (r *Request) Latency() int64 { return r.Done - r.Arrive }
+
+// RowPolicy selects the page policy of the controller.
+type RowPolicy int
+
+const (
+	// OpenRow keeps rows open until a conflict (default).
+	OpenRow RowPolicy = iota
+	// CloseRow precharges after every column command.
+	CloseRow
+)
+
+func (p RowPolicy) String() string {
+	if p == CloseRow {
+		return "close-row"
+	}
+	return "open-row"
+}
+
+// Scheduler selects the request scheduling discipline.
+type Scheduler int
+
+const (
+	// FRFCFS prefers row-hit requests, then oldest (default).
+	FRFCFS Scheduler = iota
+	// FCFS issues strictly in arrival order.
+	FCFS
+)
+
+func (s Scheduler) String() string {
+	if s == FCFS {
+		return "fcfs"
+	}
+	return "fr-fcfs"
+}
+
+// Options configures a System beyond its technology.
+type Options struct {
+	Channels   int
+	QueueDepth int // per-channel request queue entries
+	Policy     RowPolicy
+	Sched      Scheduler
+	// DisableRefresh turns periodic refresh off (useful in unit tests).
+	DisableRefresh bool
+}
+
+// Stats aggregates the observable behaviour of the memory system.
+type Stats struct {
+	Reads         int64
+	Writes        int64
+	RowHits       int64
+	RowMisses     int64 // row closed, ACT needed
+	RowConflicts  int64 // different row open, PRE+ACT needed
+	Refreshes     int64
+	SumReadLat    int64
+	MaxReadLat    int64
+	DataBusCycles int64 // cycles the data bus carried beats
+	Cycles        int64 // total simulated cycles
+}
+
+// AvgReadLatency returns the mean read round-trip in cycles.
+func (s *Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.SumReadLat) / float64(s.Reads)
+}
+
+// RowHitRate returns hits / (hits+misses+conflicts).
+func (s *Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// BusUtilization is the fraction of cycles the data bus was busy.
+func (s *Stats) BusUtilization() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.DataBusCycles) / float64(s.Cycles)
+}
+
+// bank tracks one DRAM bank's row buffer and timing horizon.
+type bank struct {
+	openRow int64 // -1 when precharged
+	nextACT int64 // earliest cycle an ACT may issue
+	nextRD  int64
+	nextWR  int64
+	nextPRE int64
+	lastACT int64
+}
+
+// pending is a queued request plus its decoded coordinates.
+type pending struct {
+	req  *Request
+	rank int
+	bank int // flat bank index within rank
+	row  int64
+	seq  int64 // arrival order tiebreak
+	// classified records that the request's first service attempt has
+	// been counted as a hit, miss or conflict (each request is
+	// classified exactly once).
+	classified bool
+}
+
+// channel is one memory channel: controller, queues and banks.
+type channel struct {
+	tech    *Tech
+	opts    *Options
+	banks   [][]bank // [rank][bank]
+	queue   []*pending
+	busFree int64 // cycle at which the data bus is next free
+	// rank-level ACT history for tFAW (last 4 ACT cycles, ring).
+	actHist [][4]int64
+	// write→read turnaround horizon per rank.
+	nextReadAfterWrite []int64
+	refreshAt          int64
+	refreshBusyUntil   int64
+	seq                int64
+	stats              Stats
+}
+
+// System is a multi-channel DRAM memory system.
+type System struct {
+	Tech Tech
+	Opts Options
+
+	channels []*channel
+	now      int64
+
+	lineBytes int64
+	// decode geometry, cached off Tech.
+	nch, nbk, nrank, nrows, linesPerRow int64
+}
+
+// New builds a DRAM system. QueueDepth defaults to 64, Channels to 1.
+func New(tech Tech, opts Options) (*System, error) {
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Channels <= 0 {
+		opts.Channels = 1
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	s := &System{Tech: tech, Opts: opts, lineBytes: int64(tech.BurstBytes())}
+	s.nch = int64(opts.Channels)
+	s.nbk = int64(tech.Banks())
+	s.nrank = int64(tech.Ranks)
+	s.nrows = int64(tech.Rows)
+	s.linesPerRow = int64(tech.RowBytes()) / s.lineBytes
+	if s.linesPerRow < 1 {
+		s.linesPerRow = 1
+	}
+	for i := 0; i < opts.Channels; i++ {
+		ch := &channel{tech: &s.Tech, opts: &s.Opts, refreshAt: int64(tech.TREFI)}
+		ch.banks = make([][]bank, tech.Ranks)
+		ch.actHist = make([][4]int64, tech.Ranks)
+		ch.nextReadAfterWrite = make([]int64, tech.Ranks)
+		for r := range ch.banks {
+			ch.banks[r] = make([]bank, tech.Banks())
+			for b := range ch.banks[r] {
+				ch.banks[r][b].openRow = -1
+			}
+			for k := 0; k < 4; k++ {
+				ch.actHist[r][k] = -1 << 60
+			}
+		}
+		s.channels = append(s.channels, ch)
+	}
+	return s, nil
+}
+
+// Now returns the current simulation cycle.
+func (s *System) Now() int64 { return s.now }
+
+// decode splits a byte address into channel/rank/bank/row coordinates using
+// a row:rank:bank:column:channel interleaving (channel bits lowest, above
+// the burst offset, so consecutive lines stripe across channels).
+func (s *System) decode(addr int64) (ch, rank, bk int, row int64) {
+	a := addr / s.lineBytes
+	ch = int(a % s.nch)
+	a /= s.nch
+	a /= s.linesPerRow // drop column bits
+	bk = int(a % s.nbk)
+	a /= s.nbk
+	rank = int(a % s.nrank)
+	a /= s.nrank
+	row = a % s.nrows
+	return ch, rank, bk, row
+}
+
+// CanEnqueue reports whether the target channel queue has room for addr.
+func (s *System) CanEnqueue(addr int64) bool {
+	ch, _, _, _ := s.decode(addr)
+	return len(s.channels[ch].queue) < s.Opts.QueueDepth
+}
+
+// QueueOccupancy returns the number of pending requests on addr's channel.
+func (s *System) QueueOccupancy(addr int64) int {
+	ch, _, _, _ := s.decode(addr)
+	return len(s.channels[ch].queue)
+}
+
+// Enqueue admits a request. It returns false (and leaves the request
+// untouched) when the channel queue is full. The request's Arrive field is
+// clamped forward to the current cycle.
+func (s *System) Enqueue(req *Request) bool {
+	chIdx, rank, bk, row := s.decode(req.Addr)
+	ch := s.channels[chIdx]
+	if len(ch.queue) >= s.Opts.QueueDepth {
+		return false
+	}
+	if req.Arrive < s.now {
+		req.Arrive = s.now
+	}
+	ch.seq++
+	ch.queue = append(ch.queue, &pending{req: req, rank: rank, bank: bk, row: row, seq: ch.seq})
+	return true
+}
+
+// Pending returns the total queued requests across channels.
+func (s *System) Pending() int {
+	n := 0
+	for _, ch := range s.channels {
+		n += len(ch.queue)
+	}
+	return n
+}
+
+// Tick advances the system one cycle, possibly issuing one command per
+// channel.
+func (s *System) Tick() {
+	s.now++
+	for _, ch := range s.channels {
+		ch.tick(s.now)
+	}
+}
+
+// RunUntilDrained ticks until no requests are pending or maxCycles elapses.
+// It returns the number of cycles advanced.
+func (s *System) RunUntilDrained(maxCycles int64) (int64, error) {
+	start := s.now
+	for s.Pending() > 0 {
+		if maxCycles >= 0 && s.now-start >= maxCycles {
+			return s.now - start, fmt.Errorf("dram: not drained after %d cycles (%d pending)",
+				maxCycles, s.Pending())
+		}
+		s.Tick()
+	}
+	return s.now - start, nil
+}
+
+// Stats sums the per-channel statistics.
+func (s *System) Stats() Stats {
+	var total Stats
+	for _, ch := range s.channels {
+		total.Reads += ch.stats.Reads
+		total.Writes += ch.stats.Writes
+		total.RowHits += ch.stats.RowHits
+		total.RowMisses += ch.stats.RowMisses
+		total.RowConflicts += ch.stats.RowConflicts
+		total.Refreshes += ch.stats.Refreshes
+		total.SumReadLat += ch.stats.SumReadLat
+		total.DataBusCycles += ch.stats.DataBusCycles
+		if ch.stats.MaxReadLat > total.MaxReadLat {
+			total.MaxReadLat = ch.stats.MaxReadLat
+		}
+	}
+	total.Cycles = s.now
+	return total
+}
+
+// ChannelStats returns a copy of one channel's statistics.
+func (s *System) ChannelStats(i int) Stats {
+	st := s.channels[i].stats
+	st.Cycles = s.now
+	return st
+}
+
+// BandwidthBytesPerSec converts the observed data-bus traffic into bytes
+// per second over the simulated interval.
+func (s *System) BandwidthBytesPerSec() float64 {
+	st := s.Stats()
+	if st.Cycles == 0 {
+		return 0
+	}
+	bytes := float64(st.Reads+st.Writes) * float64(s.Tech.BurstBytes())
+	seconds := float64(st.Cycles) / (s.Tech.ClockMHz * 1e6)
+	if seconds == 0 {
+		return 0
+	}
+	return bytes / seconds
+}
+
+// tick advances one channel by one cycle.
+func (ch *channel) tick(now int64) {
+	t := ch.tech
+	// Refresh: periodic, all banks; block the channel for tRFC.
+	if !ch.opts.DisableRefresh && now >= ch.refreshAt {
+		ch.refreshAt += int64(t.TREFI)
+		ch.refreshBusyUntil = now + int64(t.TRFC)
+		ch.stats.Refreshes++
+		for r := range ch.banks {
+			for b := range ch.banks[r] {
+				bk := &ch.banks[r][b]
+				bk.openRow = -1
+				if bk.nextACT < ch.refreshBusyUntil {
+					bk.nextACT = ch.refreshBusyUntil
+				}
+			}
+		}
+	}
+	if now < ch.refreshBusyUntil {
+		return
+	}
+	if len(ch.queue) == 0 {
+		return
+	}
+
+	idx := ch.pick(now)
+	if idx < 0 {
+		return
+	}
+	p := ch.queue[idx]
+	bk := &ch.banks[p.rank][p.bank]
+
+	// Classify the request on its first service attempt only.
+	if !p.classified {
+		p.classified = true
+		switch {
+		case bk.openRow == p.row:
+			ch.stats.RowHits++
+		case bk.openRow < 0:
+			ch.stats.RowMisses++
+		default:
+			ch.stats.RowConflicts++
+		}
+	}
+
+	switch {
+	case bk.openRow == p.row:
+		// Row open: issue the column command if legal.
+		if ch.issueColumn(now, p, bk) {
+			ch.remove(idx)
+		}
+	case bk.openRow < 0:
+		// Activate the row.
+		ch.issueACT(now, p, bk)
+	default:
+		// Wrong row open: precharge first.
+		ch.issuePRE(now, bk)
+	}
+}
+
+// reorderWindow bounds how far ahead of the oldest request FR-FCFS may
+// reorder, matching the limited associative search of real controllers
+// (and keeping scheduling O(window) per cycle).
+const reorderWindow = 64
+
+// pick chooses the queue index to service this cycle. The queue is kept in
+// arrival (seq) order, so index 0 is always the oldest request.
+func (ch *channel) pick(now int64) int {
+	n := len(ch.queue)
+	if n == 0 {
+		return -1
+	}
+	if ch.opts.Sched == FCFS {
+		if ch.queue[0].req.Arrive > now {
+			return -1
+		}
+		return 0
+	}
+	// FR-FCFS: oldest row-hit within the reorder window, else oldest.
+	limit := n
+	if limit > reorderWindow {
+		limit = reorderWindow
+	}
+	bestAny := -1
+	for i := 0; i < limit; i++ {
+		p := ch.queue[i]
+		if p.req.Arrive > now {
+			continue
+		}
+		if bestAny < 0 {
+			bestAny = i
+		}
+		if ch.banks[p.rank][p.bank].openRow == p.row {
+			return i
+		}
+	}
+	return bestAny
+}
+
+func (ch *channel) remove(idx int) {
+	ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...)
+}
+
+// issueACT activates p.row in bank bk if all constraints allow.
+func (ch *channel) issueACT(now int64, p *pending, bk *bank) bool {
+	t := ch.tech
+	if now < bk.nextACT {
+		return false
+	}
+	// tRRD: ACT-to-ACT across banks of the rank.
+	hist := &ch.actHist[p.rank]
+	latest := int64(-1 << 60)
+	oldest := int64(1 << 60)
+	for _, v := range hist {
+		if v > latest {
+			latest = v
+		}
+		if v < oldest {
+			oldest = v
+		}
+	}
+	if now-latest < int64(t.TRRD) {
+		return false
+	}
+	// tFAW: at most 4 ACTs in any tFAW window.
+	if now-oldest < int64(t.TFAW) {
+		return false
+	}
+	bk.openRow = p.row
+	bk.lastACT = now
+	bk.nextRD = now + int64(t.TRCD)
+	bk.nextWR = now + int64(t.TRCD)
+	bk.nextPRE = now + int64(t.TRAS)
+	bk.nextACT = now + int64(t.TRC)
+	// Shift ACT history.
+	minIdx := 0
+	for k := 1; k < 4; k++ {
+		if hist[k] < hist[minIdx] {
+			minIdx = k
+		}
+	}
+	hist[minIdx] = now
+	return true
+}
+
+// issuePRE precharges the bank if allowed.
+func (ch *channel) issuePRE(now int64, bk *bank) bool {
+	if now < bk.nextPRE {
+		return false
+	}
+	bk.openRow = -1
+	if next := now + int64(ch.tech.TRP); next > bk.nextACT {
+		bk.nextACT = next
+	}
+	return true
+}
+
+// issueColumn issues the RD or WR command for p if the bank, bus and
+// turnaround constraints allow. On success the request is completed.
+func (ch *channel) issueColumn(now int64, p *pending, bk *bank) bool {
+	t := ch.tech
+	burst := int64(t.BurstCycles())
+	if now < ch.busFree {
+		return false
+	}
+	if p.req.Write {
+		if now < bk.nextWR {
+			return false
+		}
+		dataEnd := now + int64(t.CWL) + burst
+		bk.nextWR = now + int64(t.TCCD)
+		bk.nextRD = dataEnd + int64(t.TWTR)
+		if pre := dataEnd + int64(t.TWR); pre > bk.nextPRE {
+			bk.nextPRE = pre
+		}
+		if ra := dataEnd + int64(t.TWTR); ra > ch.nextReadAfterWrite[p.rank] {
+			ch.nextReadAfterWrite[p.rank] = ra
+		}
+		ch.busFree = now + burst // simplified: bus reserved at command time
+		ch.stats.DataBusCycles += burst
+		ch.stats.Writes++
+		// Writes complete when accepted by the bank (posted writes).
+		p.req.Done = now
+	} else {
+		if now < bk.nextRD || now < ch.nextReadAfterWrite[p.rank] {
+			return false
+		}
+		done := now + int64(t.CL) + burst
+		bk.nextRD = now + int64(t.TCCD)
+		bk.nextWR = now + int64(t.TCCD)
+		if pre := now + int64(t.TRTP); pre > bk.nextPRE {
+			bk.nextPRE = pre
+		}
+		ch.busFree = now + burst
+		ch.stats.DataBusCycles += burst
+		ch.stats.Reads++
+		p.req.Done = done
+		lat := p.req.Latency()
+		ch.stats.SumReadLat += lat
+		if lat > ch.stats.MaxReadLat {
+			ch.stats.MaxReadLat = lat
+		}
+	}
+	if ch.opts.Policy == CloseRow {
+		// Auto-precharge once timing allows; model as a pending state
+		// change at nextPRE by closing immediately and pushing nextACT.
+		closeAt := bk.nextPRE
+		bk.openRow = -1
+		if next := closeAt + int64(t.TRP); next > bk.nextACT {
+			bk.nextACT = next
+		}
+	}
+	return true
+}
+
+// SimulateTrace feeds a slice of requests (sorted by Arrive) through the
+// system and drains it, returning the final stats. Requests that find the
+// queue full are retried every cycle, modeling back-pressure on the
+// producer; the returned stall count is the total cycles requests spent
+// blocked at the queue head.
+func (s *System) SimulateTrace(reqs []*Request) (Stats, int64, error) {
+	var stalls int64
+	i := 0
+	for i < len(reqs) {
+		r := reqs[i]
+		// Advance time to the request's arrival.
+		for s.now < r.Arrive {
+			s.Tick()
+		}
+		if s.Enqueue(r) {
+			i++
+			continue
+		}
+		stalls++
+		s.Tick()
+	}
+	if _, err := s.RunUntilDrained(-1); err != nil {
+		return s.Stats(), stalls, err
+	}
+	return s.Stats(), stalls, nil
+}

@@ -1,0 +1,30 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment has a parameter struct with Default() and
+// Quick() variants (Quick scales workloads down for benchmarks), returns
+// typed rows, and can render itself as CSV for plotting.
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// writeCSV is a small helper for the experiment writers.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int) string    { return strconv.Itoa(v) }
+func i64(v int64) string   { return strconv.FormatInt(v, 10) }
+func f64(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }

@@ -1,0 +1,12 @@
+package experiments
+
+import "testing"
+
+func TestProfFig5(t *testing.T) {
+	p := QuickFig5()
+	p.Layers = 1
+	p.SRAMSizesKB = []int{96}
+	if _, err := RunFig5(p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package multicore
+
+import (
+	"fmt"
+
+	"scalesim/internal/config"
+	"scalesim/internal/systolic"
+)
+
+// L2Plan sizes the shared L2 scratchpads of a partitioned mapping (the
+// paper's Section III-B): each row of cores shares an input-partition L2
+// and each column shares a weight-partition L2; stall-free operation
+// requires the L2 to hold its partition.
+type L2Plan struct {
+	Partition Partition
+	// InputPartitionWords is the shared input slice per core row.
+	InputPartitionWords int64
+	// WeightPartitionWords is the shared weight slice per core column.
+	WeightPartitionWords int64
+	// RequiredWords is the per-cluster L2 capacity for stall-free reuse
+	// (the larger of the two partitions, double-buffered).
+	RequiredWords int64
+}
+
+// PlanL2 computes the shared-L2 sizing for a spatial or spatio-temporal
+// partition of the mapping.
+func PlanL2(p Partition, mp systolic.Mapping) (L2Plan, error) {
+	if p.Pr <= 0 || p.Pc <= 0 {
+		return L2Plan{}, fmt.Errorf("multicore: non-positive partition %+v", p)
+	}
+	sr, sc, t := int64(mp.Sr), int64(mp.Sc), int64(mp.T)
+	pr, pc := int64(p.Pr), int64(p.Pc)
+	plan := L2Plan{Partition: p}
+	switch p.Strategy {
+	case config.SpatialPartition:
+		plan.InputPartitionWords = ceilI(sr, pr) * t
+		plan.WeightPartitionWords = t * ceilI(sc, pc)
+	case config.SpatioTemporal1:
+		tShard := ceilI(t, pc)
+		plan.InputPartitionWords = ceilI(sr, pr) * tShard
+		plan.WeightPartitionWords = tShard * ceilI(sc, pc)
+	case config.SpatioTemporal2:
+		tShard := ceilI(t, pr)
+		plan.InputPartitionWords = ceilI(sr, pr) * tShard
+		plan.WeightPartitionWords = tShard * ceilI(sc, pc)
+	default:
+		return L2Plan{}, fmt.Errorf("multicore: unknown strategy %v", p.Strategy)
+	}
+	need := plan.InputPartitionWords
+	if plan.WeightPartitionWords > need {
+		need = plan.WeightPartitionWords
+	}
+	plan.RequiredWords = 2 * need // double-buffered
+	return plan, nil
+}
+
+// StallFree reports whether an L2 of l2Words per cluster avoids refills
+// mid-partition.
+func (pl *L2Plan) StallFree(l2Words int64) bool {
+	return l2Words >= pl.RequiredWords
+}
+
+func ceilI(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,173 @@
+// Package multicore implements SCALE-Sim v3's multi tensor-core support:
+// spatial and spatio-temporal workload partitioning (the paper's Equations
+// 1–3), partition search, hierarchical memory with shared L2 duplication
+// accounting, heterogeneous tensor cores and non-uniform NoP-aware
+// partitioning.
+package multicore
+
+import (
+	"fmt"
+	"math"
+
+	"scalesim/internal/config"
+	"scalesim/internal/systolic"
+)
+
+// Partition is a Pr×Pc core grid with a partitioning strategy.
+type Partition struct {
+	Pr, Pc   int
+	Strategy config.PartitionStrategy
+}
+
+// Cores returns Pr × Pc.
+func (p Partition) Cores() int { return p.Pr * p.Pc }
+
+func (p Partition) String() string {
+	return fmt.Sprintf("%s(%dx%d)", p.Strategy, p.Pr, p.Pc)
+}
+
+// Runtime evaluates the paper's runtime equations for mapping mp on a grid
+// of R×C cores:
+//
+//	spatial (Eq 1):          (2R+C+T−2) · ⌈(Sr/Pr)/R⌉ · ⌈(Sc/Pc)/C⌉
+//	spatiotemporal-1 (Eq 2): (2R+C+⌈T/Pc⌉−2) · ⌈(Sr/Pr)/R⌉ · ⌈Sc/C⌉
+//	spatiotemporal-2 (Eq 3): (2R+C+⌈T/Pr⌉−2) · ⌈Sr/R⌉ · ⌈(Sc/Pc)/C⌉
+func Runtime(p Partition, r, c int, mp systolic.Mapping) int64 {
+	if p.Pr <= 0 || p.Pc <= 0 {
+		panic("multicore: non-positive partition grid")
+	}
+	switch p.Strategy {
+	case config.SpatialPartition:
+		return systolic.FoldCycles(r, c, mp.T) *
+			int64(systolic.CeilDiv(systolic.CeilDiv(mp.Sr, p.Pr), r)) *
+			int64(systolic.CeilDiv(systolic.CeilDiv(mp.Sc, p.Pc), c))
+	case config.SpatioTemporal1:
+		return systolic.FoldCycles(r, c, systolic.CeilDiv(mp.T, p.Pc)) *
+			int64(systolic.CeilDiv(systolic.CeilDiv(mp.Sr, p.Pr), r)) *
+			int64(systolic.CeilDiv(mp.Sc, c))
+	case config.SpatioTemporal2:
+		return systolic.FoldCycles(r, c, systolic.CeilDiv(mp.T, p.Pr)) *
+			int64(systolic.CeilDiv(mp.Sr, r)) *
+			int64(systolic.CeilDiv(systolic.CeilDiv(mp.Sc, p.Pc), c))
+	default:
+		panic(fmt.Sprintf("multicore: unknown strategy %v", p.Strategy))
+	}
+}
+
+// Footprint returns the total on-chip memory words the partitioned mapping
+// occupies across all cores' L1s, counting the duplication each strategy
+// induces:
+//
+//	spatial:           Pc·Sr·T + Pr·T·Sc + Sr·Sc
+//	spatiotemporal-1:  Sr·T + Pr·T·Sc + Pc·Sr·Sc
+//	spatiotemporal-2:  Pc·Sr·T + T·Sc + Pr·Sr·Sc
+//
+// (spatial duplicates the input partition along core rows and the weight
+// partition along core columns; the spatio-temporal schemes trade that for
+// partial-output duplication across the temporal splits).
+func Footprint(p Partition, mp systolic.Mapping) int64 {
+	sr, sc, t := int64(mp.Sr), int64(mp.Sc), int64(mp.T)
+	pr, pc := int64(p.Pr), int64(p.Pc)
+	switch p.Strategy {
+	case config.SpatialPartition:
+		return pc*sr*t + pr*t*sc + sr*sc
+	case config.SpatioTemporal1:
+		return sr*t + pr*t*sc + pc*sr*sc
+	case config.SpatioTemporal2:
+		return pc*sr*t + t*sc + pr*sr*sc
+	default:
+		panic(fmt.Sprintf("multicore: unknown strategy %v", p.Strategy))
+	}
+}
+
+// L2Footprint returns the shared-L2 footprint of the same mapping: the L2
+// deduplicates the row/column-shared partitions, so every strategy stores
+// each operand exactly once.
+func L2Footprint(mp systolic.Mapping) int64 {
+	sr, sc, t := int64(mp.Sr), int64(mp.Sc), int64(mp.T)
+	return sr*t + t*sc + sr*sc
+}
+
+// L2SavedWords is the duplication the shared L2 removes.
+func L2SavedWords(p Partition, mp systolic.Mapping) int64 {
+	return Footprint(p, mp) - L2Footprint(mp)
+}
+
+// Objective selects what the partition search minimizes.
+type Objective int
+
+const (
+	// MinCycles picks the partition with the fewest compute cycles,
+	// breaking ties by footprint.
+	MinCycles Objective = iota
+	// MinFootprint picks the partition with the smallest footprint,
+	// breaking ties by cycles.
+	MinFootprint
+)
+
+// Choice is one evaluated partition.
+type Choice struct {
+	Partition Partition
+	Cycles    int64
+	Footprint int64
+}
+
+// Search evaluates every factorization Pr×Pc = cores for the strategy and
+// returns the best choice under the objective.
+func Search(strategy config.PartitionStrategy, cores, r, c int, mp systolic.Mapping, obj Objective) (Choice, error) {
+	if cores <= 0 {
+		return Choice{}, fmt.Errorf("multicore: non-positive core count %d", cores)
+	}
+	best := Choice{Cycles: math.MaxInt64, Footprint: math.MaxInt64}
+	found := false
+	for pr := 1; pr <= cores; pr++ {
+		if cores%pr != 0 {
+			continue
+		}
+		p := Partition{Pr: pr, Pc: cores / pr, Strategy: strategy}
+		ch := Choice{
+			Partition: p,
+			Cycles:    Runtime(p, r, c, mp),
+			Footprint: Footprint(p, mp),
+		}
+		if better(ch, best, obj) {
+			best = ch
+			found = true
+		}
+	}
+	if !found {
+		return Choice{}, fmt.Errorf("multicore: no factorization of %d cores", cores)
+	}
+	return best, nil
+}
+
+// SearchAll runs Search for all three strategies and returns the choices
+// in strategy order (spatial, st1, st2).
+func SearchAll(cores, r, c int, mp systolic.Mapping, obj Objective) ([3]Choice, error) {
+	var out [3]Choice
+	for i, s := range []config.PartitionStrategy{
+		config.SpatialPartition, config.SpatioTemporal1, config.SpatioTemporal2,
+	} {
+		ch, err := Search(s, cores, r, c, mp, obj)
+		if err != nil {
+			return out, err
+		}
+		out[i] = ch
+	}
+	return out, nil
+}
+
+func better(a, b Choice, obj Objective) bool {
+	switch obj {
+	case MinFootprint:
+		if a.Footprint != b.Footprint {
+			return a.Footprint < b.Footprint
+		}
+		return a.Cycles < b.Cycles
+	default:
+		if a.Cycles != b.Cycles {
+			return a.Cycles < b.Cycles
+		}
+		return a.Footprint < b.Footprint
+	}
+}

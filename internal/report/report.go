@@ -1,0 +1,181 @@
+// Package report defines the simulator's output reports — the COMPUTE,
+// BANDWIDTH, SPARSE, MEMORY and ENERGY reports SCALE-Sim emits as CSV — and
+// their writers.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ComputeRow is one layer of the COMPUTE_REPORT.
+type ComputeRow struct {
+	LayerName         string
+	Dataflow          string
+	M, N, K           int
+	ComputeCycles     int64
+	StallCycles       int64
+	TotalCycles       int64
+	Utilization       float64
+	MappingEfficiency float64
+}
+
+// BandwidthRow is one layer of the BANDWIDTH_REPORT.
+type BandwidthRow struct {
+	LayerName      string
+	DRAMReadWords  int64
+	DRAMWriteWords int64
+	AvgReadBWWords float64 // words per cycle
+	AvgWriteBW     float64
+	ThroughputMBps float64
+}
+
+// MemoryRow is one layer of the MEMORY_REPORT (Ramulator integration).
+type MemoryRow struct {
+	LayerName      string
+	Requests       int64
+	RowHits        int64
+	RowMisses      int64
+	RowConflicts   int64
+	AvgReadLatency float64
+	QueueFullCyc   int64
+	StallCycles    int64
+}
+
+// SparseRow is one layer of the SPARSE_REPORT.
+type SparseRow struct {
+	LayerName             string
+	Representation        string
+	Ratio                 string
+	OriginalFilterWords   int64
+	CompressedFilterWords int64
+	MetadataWords         int64
+}
+
+// EnergyRow is one layer of the ENERGY_REPORT.
+type EnergyRow struct {
+	LayerName  string
+	TotalMJ    float64
+	LeakageMJ  float64
+	AvgPowerMW float64
+	EdP        float64
+}
+
+// WriteCompute emits the compute report as CSV.
+func WriteCompute(w io.Writer, rows []ComputeRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"LayerName", "Dataflow", "M", "N", "K",
+		"ComputeCycles", "StallCycles", "TotalCycles", "Utilization", "MappingEfficiency"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.LayerName, r.Dataflow,
+			strconv.Itoa(r.M), strconv.Itoa(r.N), strconv.Itoa(r.K),
+			strconv.FormatInt(r.ComputeCycles, 10),
+			strconv.FormatInt(r.StallCycles, 10),
+			strconv.FormatInt(r.TotalCycles, 10),
+			fmtF(r.Utilization), fmtF(r.MappingEfficiency)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteBandwidth emits the bandwidth report as CSV.
+func WriteBandwidth(w io.Writer, rows []BandwidthRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"LayerName", "DRAMReadWords", "DRAMWriteWords",
+		"AvgReadBWWordsPerCycle", "AvgWriteBWWordsPerCycle", "ThroughputMBps"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.LayerName,
+			strconv.FormatInt(r.DRAMReadWords, 10),
+			strconv.FormatInt(r.DRAMWriteWords, 10),
+			fmtF(r.AvgReadBWWords), fmtF(r.AvgWriteBW), fmtF(r.ThroughputMBps)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMemory emits the memory report as CSV.
+func WriteMemory(w io.Writer, rows []MemoryRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"LayerName", "Requests", "RowHits", "RowMisses",
+		"RowConflicts", "AvgReadLatency", "QueueFullCycles", "StallCycles"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.LayerName,
+			strconv.FormatInt(r.Requests, 10),
+			strconv.FormatInt(r.RowHits, 10),
+			strconv.FormatInt(r.RowMisses, 10),
+			strconv.FormatInt(r.RowConflicts, 10),
+			fmtF(r.AvgReadLatency),
+			strconv.FormatInt(r.QueueFullCyc, 10),
+			strconv.FormatInt(r.StallCycles, 10)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSparse emits the sparse report as CSV.
+func WriteSparse(w io.Writer, rows []SparseRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"LayerName", "SparsityRepresentation", "Ratio",
+		"OriginalFilterStorage", "NewFilterStorage", "Metadata"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.LayerName, r.Representation, r.Ratio,
+			strconv.FormatInt(r.OriginalFilterWords, 10),
+			strconv.FormatInt(r.CompressedFilterWords, 10),
+			strconv.FormatInt(r.MetadataWords, 10)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEnergy emits the energy report as CSV.
+func WriteEnergy(w io.Writer, rows []EnergyRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"LayerName", "TotalEnergyMJ", "LeakageMJ",
+		"AvgPowerMW", "EdPCycleMJ"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.LayerName,
+			fmtF(r.TotalMJ), fmtF(r.LeakageMJ), fmtF(r.AvgPowerMW), fmtF(r.EdP)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string {
+	return strconv.FormatFloat(v, 'f', 6, 64)
+}
+
+// Summary aggregates layer rows into run totals.
+type Summary struct {
+	TotalComputeCycles int64
+	TotalStallCycles   int64
+	TotalCycles        int64
+	TotalEnergyMJ      float64
+	AvgPowerMW         float64
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("cycles=%d (stalls=%d) energy=%.4f mJ power=%.2f mW",
+		s.TotalCycles, s.TotalStallCycles, s.TotalEnergyMJ, s.AvgPowerMW)
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteCompute(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCompute(&buf, []ComputeRow{{
+		LayerName: "Conv1", Dataflow: "os", M: 1, N: 2, K: 3,
+		ComputeCycles: 100, StallCycles: 10, TotalCycles: 110,
+		Utilization: 0.5, MappingEfficiency: 0.75,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 2 || rows[1][0] != "Conv1" || rows[1][7] != "110" {
+		t.Errorf("rows: %v", rows)
+	}
+}
+
+func TestWriteBandwidthAndMemory(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBandwidth(&buf, []BandwidthRow{{LayerName: "L", DRAMReadWords: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ThroughputMBps") {
+		t.Error("bandwidth header missing")
+	}
+	buf.Reset()
+	if err := WriteMemory(&buf, []MemoryRow{{LayerName: "L", RowHits: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if rows[1][2] != "9" {
+		t.Errorf("row hits column: %v", rows[1])
+	}
+}
+
+func TestWriteSparseAndEnergy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSparse(&buf, []SparseRow{{
+		LayerName: "L", Representation: "ellpack_block", Ratio: "2:4",
+		OriginalFilterWords: 100, CompressedFilterWords: 60, MetadataWords: 10,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ellpack_block") {
+		t.Error("sparse row missing")
+	}
+	buf.Reset()
+	if err := WriteEnergy(&buf, []EnergyRow{{LayerName: "L", TotalMJ: 1.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.500000") {
+		t.Errorf("energy row missing: %q", buf.String())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{TotalCycles: 10, TotalStallCycles: 2, TotalEnergyMJ: 0.5, AvgPowerMW: 3}
+	if got := s.String(); !strings.Contains(got, "cycles=10") || !strings.Contains(got, "stalls=2") {
+		t.Errorf("summary: %q", got)
+	}
+}

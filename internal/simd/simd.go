@@ -1,0 +1,95 @@
+// Package simd models the vector unit attached to each tensor core. Vector
+// units handle the non-GEMM operators (activations, softmax, normalization,
+// quantization) using lookup tables and floating-point pipelines; SCALE-Sim
+// v3 models them with a configurable lane count and per-operation latency.
+package simd
+
+import "fmt"
+
+// Op enumerates the vector operations the unit supports.
+type Op int
+
+// Supported vector operations.
+const (
+	ReLU Op = iota
+	GELU
+	Sigmoid
+	Tanh
+	Exp
+	Softmax
+	LayerNorm
+	Quantize
+	Dequantize
+)
+
+func (o Op) String() string {
+	names := [...]string{"relu", "gelu", "sigmoid", "tanh", "exp",
+		"softmax", "layernorm", "quantize", "dequantize"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Unit is one SIMD/vector engine.
+type Unit struct {
+	// Lanes is the vector width in elements.
+	Lanes int
+	// Latency maps each op to its per-batch pipeline latency in cycles.
+	// Missing ops fall back to DefaultLatency.
+	Latency map[Op]int
+	// DefaultLatency covers unlisted ops (default 1).
+	DefaultLatency int
+}
+
+// New returns a unit with the canonical latency table: cheap pointwise ops
+// take one cycle per batch; transcendental and multi-pass ops cost more.
+func New(lanes int) *Unit {
+	return &Unit{
+		Lanes: lanes,
+		Latency: map[Op]int{
+			ReLU:       1,
+			GELU:       4,
+			Sigmoid:    3,
+			Tanh:       3,
+			Exp:        3,
+			Softmax:    8, // max + exp + sum + divide passes
+			LayerNorm:  6, // mean + variance + normalize passes
+			Quantize:   2,
+			Dequantize: 2,
+		},
+		DefaultLatency: 1,
+	}
+}
+
+// OpLatency returns the per-batch latency of op.
+func (u *Unit) OpLatency(op Op) int {
+	if u.Latency != nil {
+		if l, ok := u.Latency[op]; ok {
+			return l
+		}
+	}
+	if u.DefaultLatency > 0 {
+		return u.DefaultLatency
+	}
+	return 1
+}
+
+// Cycles returns the cycles to apply op to `elements` values: one batch of
+// `Lanes` elements per pipeline pass.
+func (u *Unit) Cycles(op Op, elements int64) int64 {
+	if u == nil || u.Lanes <= 0 || elements <= 0 {
+		return 0
+	}
+	batches := (elements + int64(u.Lanes) - 1) / int64(u.Lanes)
+	return batches * int64(u.OpLatency(op))
+}
+
+// Ops returns the number of lane-operations (for energy accounting):
+// every element passes through the pipeline latency once per pass.
+func (u *Unit) Ops(op Op, elements int64) int64 {
+	if u == nil || elements <= 0 {
+		return 0
+	}
+	return elements * int64(u.OpLatency(op))
+}

@@ -1,0 +1,87 @@
+package simd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCyclesBatching(t *testing.T) {
+	u := New(16)
+	// 16 elements of ReLU: one batch, latency 1.
+	if got := u.Cycles(ReLU, 16); got != 1 {
+		t.Errorf("16 elems: %d cycles", got)
+	}
+	// 17 elements: two batches.
+	if got := u.Cycles(ReLU, 17); got != 2 {
+		t.Errorf("17 elems: %d cycles", got)
+	}
+	// Softmax is multi-pass.
+	if u.Cycles(Softmax, 16) <= u.Cycles(ReLU, 16) {
+		t.Error("softmax not costlier than relu")
+	}
+}
+
+func TestCyclesEdgeCases(t *testing.T) {
+	var nilUnit *Unit
+	if nilUnit.Cycles(ReLU, 100) != 0 {
+		t.Error("nil unit should cost nothing")
+	}
+	u := New(0)
+	if u.Cycles(ReLU, 100) != 0 {
+		t.Error("zero lanes should cost nothing")
+	}
+	if New(8).Cycles(ReLU, 0) != 0 {
+		t.Error("zero elements should cost nothing")
+	}
+}
+
+func TestDefaultLatencyFallback(t *testing.T) {
+	u := &Unit{Lanes: 8}
+	if got := u.OpLatency(GELU); got != 1 {
+		t.Errorf("missing table fallback %d", got)
+	}
+	u.DefaultLatency = 3
+	if got := u.OpLatency(GELU); got != 3 {
+		t.Errorf("custom default %d", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Softmax.String() != "softmax" || ReLU.String() != "relu" {
+		t.Error("op names wrong")
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op has empty name")
+	}
+}
+
+func TestCyclesMonotoneProperty(t *testing.T) {
+	u := New(8)
+	f := func(a, b uint16) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return u.Cycles(GELU, x) <= u.Cycles(GELU, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWiderUnitNeverSlowerProperty(t *testing.T) {
+	narrow, wide := New(4), New(32)
+	f := func(n uint16) bool {
+		return wide.Cycles(Softmax, int64(n)) <= narrow.Cycles(Softmax, int64(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpsAccounting(t *testing.T) {
+	u := New(8)
+	if got := u.Ops(Softmax, 100); got != 100*int64(u.OpLatency(Softmax)) {
+		t.Errorf("ops %d", got)
+	}
+}

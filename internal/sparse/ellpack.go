@@ -1,0 +1,226 @@
+package sparse
+
+import (
+	"fmt"
+)
+
+// BlockedELL is a concrete Blocked-ELLPACK encoding of a dense matrix
+// (paper Fig. 6): for each row, each block of blockSize columns stores its
+// non-zero values contiguously together with the in-block column index of
+// each value.
+type BlockedELL struct {
+	Rows, Cols, BlockSize int
+	// Values[r] lists the non-zeros of row r in column order.
+	Values [][]float64
+	// Index[r][i] is the in-block column offset of Values[r][i].
+	Index [][]uint8
+	// BlockNNZ[r][b] is the number of non-zeros of block b in row r.
+	BlockNNZ [][]int
+}
+
+// EncodeBlockedELL compresses a dense row-major matrix.
+func EncodeBlockedELL(dense [][]float64, blockSize int) (*BlockedELL, error) {
+	if len(dense) == 0 || len(dense[0]) == 0 {
+		return nil, fmt.Errorf("sparse: empty matrix")
+	}
+	if blockSize <= 0 || blockSize > 256 {
+		return nil, fmt.Errorf("sparse: invalid block size %d", blockSize)
+	}
+	rows, cols := len(dense), len(dense[0])
+	e := &BlockedELL{Rows: rows, Cols: cols, BlockSize: blockSize}
+	blocks := ceilDiv(cols, blockSize)
+	for r := 0; r < rows; r++ {
+		if len(dense[r]) != cols {
+			return nil, fmt.Errorf("sparse: ragged matrix at row %d", r)
+		}
+		var vals []float64
+		var idx []uint8
+		bn := make([]int, blocks)
+		for c := 0; c < cols; c++ {
+			if dense[r][c] == 0 {
+				continue
+			}
+			vals = append(vals, dense[r][c])
+			idx = append(idx, uint8(c%blockSize))
+			bn[c/blockSize]++
+		}
+		e.Values = append(e.Values, vals)
+		e.Index = append(e.Index, idx)
+		e.BlockNNZ = append(e.BlockNNZ, bn)
+	}
+	return e, nil
+}
+
+// Decode reconstructs the dense matrix.
+func (e *BlockedELL) Decode() [][]float64 {
+	out := make([][]float64, e.Rows)
+	for r := range out {
+		out[r] = make([]float64, e.Cols)
+		pos := 0
+		for b, n := range e.BlockNNZ[r] {
+			for i := 0; i < n; i++ {
+				col := b*e.BlockSize + int(e.Index[r][pos])
+				out[r][col] = e.Values[r][pos]
+				pos++
+			}
+		}
+	}
+	return out
+}
+
+// NNZ returns the stored non-zero count.
+func (e *BlockedELL) NNZ() int {
+	total := 0
+	for _, v := range e.Values {
+		total += len(v)
+	}
+	return total
+}
+
+// Pattern extracts the N:M structure of the encoding.
+func (e *BlockedELL) Pattern() *Pattern {
+	p := &Pattern{K: e.Cols, Filters: e.Rows, BlockSize: e.BlockSize, NNZ: e.BlockNNZ}
+	return p
+}
+
+// CSRMatrix is a compressed-sparse-row encoding.
+type CSRMatrix struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Values     []float64
+}
+
+// EncodeCSR compresses a dense row-major matrix.
+func EncodeCSR(dense [][]float64) (*CSRMatrix, error) {
+	if len(dense) == 0 || len(dense[0]) == 0 {
+		return nil, fmt.Errorf("sparse: empty matrix")
+	}
+	rows, cols := len(dense), len(dense[0])
+	m := &CSRMatrix{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for r := 0; r < rows; r++ {
+		if len(dense[r]) != cols {
+			return nil, fmt.Errorf("sparse: ragged matrix at row %d", r)
+		}
+		for c := 0; c < cols; c++ {
+			if dense[r][c] != 0 {
+				m.ColIdx = append(m.ColIdx, c)
+				m.Values = append(m.Values, dense[r][c])
+			}
+		}
+		m.RowPtr[r+1] = len(m.Values)
+	}
+	return m, nil
+}
+
+// Decode reconstructs the dense matrix.
+func (m *CSRMatrix) Decode() [][]float64 {
+	out := make([][]float64, m.Rows)
+	for r := range out {
+		out[r] = make([]float64, m.Cols)
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			out[r][m.ColIdx[i]] = m.Values[i]
+		}
+	}
+	return out
+}
+
+// CSCMatrix is a compressed-sparse-column encoding.
+type CSCMatrix struct {
+	Rows, Cols int
+	ColPtr     []int
+	RowIdx     []int
+	Values     []float64
+}
+
+// EncodeCSC compresses a dense row-major matrix column by column.
+func EncodeCSC(dense [][]float64) (*CSCMatrix, error) {
+	if len(dense) == 0 || len(dense[0]) == 0 {
+		return nil, fmt.Errorf("sparse: empty matrix")
+	}
+	rows, cols := len(dense), len(dense[0])
+	m := &CSCMatrix{Rows: rows, Cols: cols, ColPtr: make([]int, cols+1)}
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			if len(dense[r]) != cols {
+				return nil, fmt.Errorf("sparse: ragged matrix at row %d", r)
+			}
+			if dense[r][c] != 0 {
+				m.RowIdx = append(m.RowIdx, r)
+				m.Values = append(m.Values, dense[r][c])
+			}
+		}
+		m.ColPtr[c+1] = len(m.Values)
+	}
+	return m, nil
+}
+
+// Decode reconstructs the dense matrix.
+func (m *CSCMatrix) Decode() [][]float64 {
+	out := make([][]float64, m.Rows)
+	for r := range out {
+		out[r] = make([]float64, m.Cols)
+	}
+	for c := 0; c < m.Cols; c++ {
+		for i := m.ColPtr[c]; i < m.ColPtr[c+1]; i++ {
+			out[m.RowIdx[i]][c] = m.Values[i]
+		}
+	}
+	return out
+}
+
+// RandomNM generates a dense rows×cols matrix obeying exact N:M sparsity
+// per row (deterministic in seed) for use in tests and examples.
+func RandomNM(rows, cols, n, m int, seed int64) ([][]float64, error) {
+	if n <= 0 || m <= 0 || n > m {
+		return nil, fmt.Errorf("sparse: invalid ratio %d:%d", n, m)
+	}
+	rng := newSplitMix(seed)
+	out := make([][]float64, rows)
+	for r := range out {
+		row := make([]float64, cols)
+		for b := 0; b*m < cols; b++ {
+			size := m
+			if b*m+size > cols {
+				size = cols - b*m
+			}
+			keep := n
+			if keep > size {
+				keep = size
+			}
+			// Choose `keep` positions within the block.
+			perm := rng.perm(size)
+			for i := 0; i < keep; i++ {
+				row[b*m+perm[i]] = 1 + float64(rng.next()%1000)/1000
+			}
+		}
+		out[r] = row
+	}
+	return out, nil
+}
+
+// splitMix is a tiny deterministic PRNG so RandomNM does not depend on
+// math/rand's global state.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed int64) *splitMix { return &splitMix{state: uint64(seed)*2654435769 + 1} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(s.next() % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,294 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scalesim/internal/config"
+	"scalesim/internal/systolic"
+	"scalesim/internal/topology"
+)
+
+func TestUniformPattern(t *testing.T) {
+	p, err := Uniform(16, 4, topology.Sparsity{N: 2, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Blocks() != 4 {
+		t.Fatalf("blocks %d", p.Blocks())
+	}
+	for f := 0; f < 4; f++ {
+		if l := p.CompressedLen(f); l != 8 {
+			t.Errorf("filter %d compressed len %d, want 8", f, l)
+		}
+	}
+	if d := p.Density(); d != 0.5 {
+		t.Errorf("density %f", d)
+	}
+}
+
+func TestUniformPartialBlock(t *testing.T) {
+	// K=10 with M=4: blocks of 4,4,2; the final partial block keeps the
+	// N:M density (⌈2·1/4⌉ = 1 for 1:4).
+	p, err := Uniform(10, 2, topology.Sparsity{N: 1, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l := p.CompressedLen(0); l != 3 {
+		t.Errorf("compressed len %d, want 3", l)
+	}
+}
+
+func TestRowWiseDeterministicAndBounded(t *testing.T) {
+	a, err := RowWise(64, 32, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RowWise(64, 32, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 32; f++ {
+		if a.CompressedLen(f) != b.CompressedLen(f) {
+			t.Fatal("row-wise pattern not deterministic in seed")
+		}
+		for _, n := range a.NNZ[f] {
+			if n < 1 || n > 4 {
+				t.Fatalf("filter %d block nnz %d outside [1, M/2]", f, n)
+			}
+		}
+	}
+	c, err := RowWise(64, 32, 8, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for f := 0; f < 32; f++ {
+		if a.CompressedLen(f) != c.CompressedLen(f) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical patterns")
+	}
+}
+
+func TestRowWiseRejectsTinyBlocks(t *testing.T) {
+	if _, err := RowWise(8, 2, 1, 0); err == nil {
+		t.Error("block size 1 accepted")
+	}
+}
+
+func TestEstimateSparseFasterProperty(t *testing.T) {
+	// Property: a 1:4 pattern never needs more cycles than dense (4:4)
+	// at the same shape.
+	f := func(k8, n8, m8 uint8) bool {
+		k := int(k8)%200 + 8
+		n := int(n8)%60 + 1
+		m := int(m8)%100 + 1
+		dense, err := Uniform(k, n, topology.Sparsity{N: 4, M: 4})
+		if err != nil {
+			return false
+		}
+		quarter, err := Uniform(k, n, topology.Sparsity{N: 1, M: 4})
+		if err != nil {
+			return false
+		}
+		de := Estimate(8, 8, m, dense)
+		qe := Estimate(8, 8, m, quarter)
+		return qe.ComputeCycles <= de.ComputeCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateDenseMatchesSystolic(t *testing.T) {
+	// A 4:4 "sparse" run must match the dense WS closed form.
+	k, n, m := 96, 40, 70
+	p, err := Uniform(k, n, topology.Sparsity{N: 4, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := Estimate(16, 16, m, p)
+	de := systolic.Estimate(config.WeightStationary, 16, 16, m, n, k)
+	if se.ComputeCycles != de.ComputeCycles {
+		t.Errorf("sparse-dense cycles %d != systolic %d", se.ComputeCycles, de.ComputeCycles)
+	}
+}
+
+func TestMetadataBits(t *testing.T) {
+	for block, want := range map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 16: 4, 32: 5} {
+		if got := MetadataBitsPerElement(block); got != want {
+			t.Errorf("block %d: %d bits, want %d", block, got, want)
+		}
+	}
+}
+
+func TestFootprintFormats(t *testing.T) {
+	p, err := Uniform(64, 16, topology.Sparsity{N: 2, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []config.SparseFormat{config.BlockedELLPACK, config.CSR, config.CSC} {
+		st, err := Footprint(p, format, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ValueBits != p.TotalNNZ()*16 {
+			t.Errorf("%v: value bits %d", format, st.ValueBits)
+		}
+		if st.MetadataBits <= 0 {
+			t.Errorf("%v: no metadata", format)
+		}
+		if st.TotalBits() >= DenseBits(p, 16) {
+			t.Errorf("%v: 2:4 compression not smaller than dense", format)
+		}
+	}
+}
+
+func TestEllpackMetadataExact(t *testing.T) {
+	// 2:4 over K=64 → 32 nnz per row × 2 bits.
+	p, _ := Uniform(64, 1, topology.Sparsity{N: 2, M: 4})
+	st, err := Footprint(p, config.BlockedELLPACK, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MetadataBits != 32*2 {
+		t.Errorf("metadata bits %d, want 64", st.MetadataBits)
+	}
+}
+
+func TestNewReport(t *testing.T) {
+	p, _ := Uniform(64, 8, topology.Sparsity{N: 1, M: 4})
+	rep, err := NewReport("L0", "1:4", p, config.BlockedELLPACK, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OriginalFilterWords != 64*8 {
+		t.Errorf("original %d", rep.OriginalFilterWords)
+	}
+	if rep.CompressedFilterWords >= rep.OriginalFilterWords {
+		t.Error("no compression")
+	}
+	if rep.CompressionRatio <= 1 {
+		t.Errorf("ratio %f", rep.CompressionRatio)
+	}
+}
+
+func TestBlockedELLRoundTripProperty(t *testing.T) {
+	f := func(seed int64, rows8, cols8, n8 uint8) bool {
+		rows := int(rows8)%20 + 1
+		cols := int(cols8)%40 + 1
+		m := 4
+		n := int(n8)%2 + 1
+		dense, err := RandomNM(rows, cols, n, m, seed)
+		if err != nil {
+			return false
+		}
+		enc, err := EncodeBlockedELL(dense, m)
+		if err != nil {
+			return false
+		}
+		dec := enc.Decode()
+		for r := range dense {
+			for c := range dense[r] {
+				if dense[r][c] != dec[r][c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRCSCRoundTrip(t *testing.T) {
+	dense, err := RandomNM(13, 29, 2, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := EncodeCSR(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csc, err := EncodeCSC(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csr.Values) != len(csc.Values) {
+		t.Fatalf("csr nnz %d != csc nnz %d", len(csr.Values), len(csc.Values))
+	}
+	a, b := csr.Decode(), csc.Decode()
+	for r := range dense {
+		for c := range dense[r] {
+			if a[r][c] != dense[r][c] || b[r][c] != dense[r][c] {
+				t.Fatalf("roundtrip mismatch at %d,%d", r, c)
+			}
+		}
+	}
+}
+
+func TestEncodePatternExtraction(t *testing.T) {
+	dense, _ := RandomNM(6, 16, 2, 4, 1)
+	enc, _ := EncodeBlockedELL(dense, 4)
+	p := enc.Pattern()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalNNZ() != int64(enc.NNZ()) {
+		t.Errorf("pattern nnz %d != encoding nnz %d", p.TotalNNZ(), enc.NNZ())
+	}
+	// Exact 2:4 structure.
+	for f := 0; f < p.Filters; f++ {
+		for _, n := range p.NNZ[f] {
+			if n != 2 {
+				t.Fatalf("block nnz %d, want 2", n)
+			}
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := EncodeBlockedELL(nil, 4); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := EncodeBlockedELL([][]float64{{1, 2}, {1}}, 4); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := EncodeCSR([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged matrix accepted by CSR")
+	}
+	if _, err := RandomNM(2, 4, 5, 4, 0); err == nil {
+		t.Error("N > M accepted")
+	}
+}
+
+func TestPatternForLayerModes(t *testing.T) {
+	layer := topology.Layer{Kind: topology.GEMM, M: 10, N: 8, K: 32,
+		Sparsity: topology.Sparsity{N: 2, M: 4}}
+	uni, err := PatternFor(&layer, &config.SparsityConfig{Enabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.Density() != 0.5 {
+		t.Errorf("uniform density %f", uni.Density())
+	}
+	rw, err := PatternFor(&layer, &config.SparsityConfig{
+		Enabled: true, OptimizedMapping: true, BlockSize: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.BlockSize != 8 {
+		t.Errorf("row-wise block %d", rw.BlockSize)
+	}
+	if d := rw.Density(); d > 0.5 {
+		t.Errorf("row-wise density %f exceeds M/2 bound", d)
+	}
+}

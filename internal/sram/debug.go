@@ -1,0 +1,6 @@
+package sram
+
+// SetDebugEvery makes Simulate print its replay state (fold cursors,
+// consumed/issued stream words, queue occupancy) every n cycles, for
+// diagnosing stalls or livelocks in new schedules. Zero disables.
+func SetDebugEvery(n int64) { debugEvery = n }

@@ -1,0 +1,495 @@
+package sram
+
+import (
+	"fmt"
+
+	"scalesim/internal/config"
+	"scalesim/internal/dram"
+)
+
+// Options configures the memory replay.
+type Options struct {
+	// WordBytes is the operand word size (default 4).
+	WordBytes int
+	// LineBytes is the DRAM request granularity (default 64).
+	LineBytes int
+	// MaxRequestsPerCycle bounds how many line requests the interface
+	// can issue per cycle (derived from interface bandwidth).
+	MaxRequestsPerCycle int
+	// StreamWindowWords is the double-buffered stream staging capacity:
+	// the producer may run at most this many unconsumed words ahead of
+	// the consumer (typically half the ifmap SRAM).
+	StreamWindowWords int64
+	// MaxCycles aborts runaway simulations (default 2^40).
+	MaxCycles int64
+	// CollectTrace records every DRAM transaction (arrival cycle,
+	// address, type, round-trip) into Result.Trace.
+	CollectTrace bool
+}
+
+// TraceEntry is one recorded DRAM transaction.
+type TraceEntry struct {
+	Arrive int64
+	Done   int64
+	Addr   int64
+	Write  bool
+}
+
+func (o *Options) defaults() {
+	if o.WordBytes <= 0 {
+		o.WordBytes = 4
+	}
+	if o.LineBytes <= 0 {
+		o.LineBytes = 64
+	}
+	if o.MaxRequestsPerCycle <= 0 {
+		o.MaxRequestsPerCycle = 1
+	}
+	if o.StreamWindowWords <= 0 {
+		o.StreamWindowWords = 1 << 20
+	}
+	if o.MaxCycles <= 0 {
+		o.MaxCycles = 1 << 40
+	}
+}
+
+// Result reports the outcome of replaying one schedule against the memory
+// system.
+type Result struct {
+	ComputeCycles int64 // stall-free cycle count
+	TotalCycles   int64 // with memory stalls
+	StallCycles   int64 // TotalCycles − ComputeCycles
+	ReadRequests  int64
+	WriteRequests int64
+	ReadWords     int64
+	WriteWords    int64
+	QueueFullCyc  int64 // cycles the producer was blocked on a full queue
+	DRAM          dram.Stats
+	// ThroughputMBps is DRAM traffic divided by the run's wall time at
+	// the memory clock.
+	ThroughputMBps float64
+	// Trace holds every transaction when Options.CollectTrace was set,
+	// in issue order.
+	Trace []TraceEntry
+}
+
+// StallFraction is StallCycles / TotalCycles.
+func (r *Result) StallFraction() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.StallCycles) / float64(r.TotalCycles)
+}
+
+// debugEvery, when positive, prints replay state every N cycles (set
+// from tests while diagnosing livelocks).
+var debugEvery int64
+
+// request kinds in the global issue list.
+const (
+	kindStationary = iota
+	kindStream
+	kindWrite
+)
+
+type item struct {
+	fold int
+	kind int8
+	req  dram.Request
+}
+
+// Simulate replays the schedule against the DRAM system, modeling double
+// buffering (fold f+1 prefetches while fold f computes), a finite stream
+// staging window, finite DRAM request queues and real round-trip latencies.
+// The accelerator and memory controller are clocked 1:1.
+func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) {
+	opts.defaults()
+	// The staging window must cover at least one consume batch plus one
+	// in-flight line, or the producer/consumer pair livelocks.
+	var maxRate int64
+	for i := range sched.Folds {
+		if sched.Folds[i].ConsumeRate > maxRate {
+			maxRate = sched.Folds[i].ConsumeRate
+		}
+	}
+	lineWordsMin := int64(opts.LineBytes / opts.WordBytes)
+	if lineWordsMin < 1 {
+		lineWordsMin = 1
+	}
+	if floor := 2*maxRate + 2*lineWordsMin; opts.StreamWindowWords < floor {
+		opts.StreamWindowWords = floor
+	}
+	res := &Result{ComputeCycles: sched.ComputeCycles()}
+
+	// Per-fold request lists, materialized lazily: only the folds between
+	// the write drain cursor and the prefetch horizon (cf+1) are live, so
+	// schedules with hundreds of thousands of folds stay cheap.
+	type foldReqs struct {
+		stat   []item
+		stream []item
+		// streamCum[i] is cumulative stream words after line i.
+		streamCum []int64
+		writes    []item
+		live      bool
+	}
+	folds := make([]foldReqs, len(sched.Folds))
+	lineWords := int64(opts.LineBytes / opts.WordBytes)
+	if lineWords < 1 {
+		lineWords = 1
+	}
+	var lineBuf []int64
+	materialize := func(i int) *foldReqs {
+		fr := &folds[i]
+		if fr.live {
+			return fr
+		}
+		f := &sched.Folds[i]
+		for _, sp := range f.Stationary {
+			lineBuf = sp.Lines(lineBuf[:0], int64(opts.WordBytes), int64(opts.LineBytes))
+			for _, addr := range lineBuf {
+				fr.stat = append(fr.stat, item{fold: i, kind: kindStationary,
+					req: dram.Request{Addr: addr}})
+			}
+		}
+		for _, sp := range f.Stream {
+			lineBuf = sp.Lines(lineBuf[:0], int64(opts.WordBytes), int64(opts.LineBytes))
+			for _, addr := range lineBuf {
+				fr.stream = append(fr.stream, item{fold: i, kind: kindStream,
+					req: dram.Request{Addr: addr}})
+			}
+		}
+		// Distribute the fold's stream words evenly over its lines
+		// (boundary-straddling lines mean lines × lineWords overcounts;
+		// the final line must land exactly on StreamWords so the fold
+		// cannot complete before every line has been issued and served).
+		total := f.StreamWords()
+		n := int64(len(fr.stream))
+		fr.streamCum = make([]int64, n)
+		for j := int64(0); j < n; j++ {
+			fr.streamCum[j] = total * (j + 1) / n
+		}
+		for _, sp := range f.Writes {
+			lineBuf = sp.Lines(lineBuf[:0], int64(opts.WordBytes), int64(opts.LineBytes))
+			for _, addr := range lineBuf {
+				fr.writes = append(fr.writes, item{fold: i, kind: kindWrite,
+					req: dram.Request{Addr: addr, Write: true}})
+			}
+		}
+		fr.live = true
+		return fr
+	}
+	release := func(i int) {
+		if opts.CollectTrace {
+			return // keep everything for the trace
+		}
+		folds[i] = foldReqs{}
+	}
+	for i := range sched.Folds {
+		f := &sched.Folds[i]
+		res.ReadWords += f.StationaryWords() + f.StreamWords()
+		res.WriteWords += f.WriteWords()
+	}
+
+	// Producer state: in-order issue across folds, stationary→stream,
+	// with writes of completed folds interleaved ahead of future reads.
+	issueFold, statIdx, streamIdx := 0, 0, 0
+	writeFold, writeIdx := 0, 0
+
+	// Consumer (compute) state.
+	cf := 0                   // fold being computed
+	started := false          // fold cf started?
+	statDone := 0             // completed stationary requests of fold cf
+	streamAvail := 0          // stream lines of cf whose data has returned
+	consumedWords := int64(0) // stream words consumed by the array in cf
+	streamPhaseLeft := int64(0)
+	drainLeft := int64(0)
+	// Window tracking: unconsumed issued stream words of the current and
+	// next fold.
+	issuedStreamWords := int64(0)
+
+	// WS/IS outputs stream out of the array continuously; OS outputs
+	// drain once at the end of the fold.
+	pacedWrites := sched.Dataflow != config.OutputStationary
+
+	now := int64(0)
+	tick := func() {
+		sys.Tick()
+		now++
+	}
+
+	for cf < len(sched.Folds) {
+		if now > opts.MaxCycles {
+			return nil, fmt.Errorf("sram: simulation exceeded %d cycles", opts.MaxCycles)
+		}
+		if debugEvery > 0 && now%debugEvery == 0 && now > 0 {
+			fmt.Printf("sram-debug: now=%d cf=%d/%d started=%v phase=%d consumed=%d issued=%d streamAvail=%d issueFold=%d statIdx=%d streamIdx=%d writeFold=%d writeIdx=%d pending=%d\n",
+				now, cf, len(sched.Folds), started, streamPhaseLeft, consumedWords,
+				issuedStreamWords, streamAvail,
+				issueFold, statIdx, streamIdx, writeFold, writeIdx, sys.Pending())
+		}
+
+		// 1) Issue requests. Writes of finished folds go first (they
+		// must leave the staging buffers); for WS/IS the current fold's
+		// outputs also retire continuously, paced to the stream — a full
+		// write queue backs the array up (writeBlocked).
+		budget := opts.MaxRequestsPerCycle
+		writeBlocked := false
+		for budget > 0 {
+			if writeFold < cf {
+				wr := materialize(writeFold)
+				if writeIdx >= len(wr.writes) {
+					release(writeFold)
+					writeFold++
+					writeIdx = 0
+					continue
+				}
+				it := &wr.writes[writeIdx]
+				it.req.Arrive = now
+				if !sys.Enqueue(&it.req) {
+					res.QueueFullCyc++
+					budget = 0
+					break
+				}
+				res.WriteRequests++
+				writeIdx++
+				budget--
+				continue
+			}
+			if pacedWrites && writeFold == cf && started {
+				fw := materialize(cf)
+				target := pacedTarget(len(fw.writes), consumedWords, sched.Folds[cf].StreamWords())
+				if writeIdx < target {
+					it := &fw.writes[writeIdx]
+					it.req.Arrive = now
+					if !sys.Enqueue(&it.req) {
+						res.QueueFullCyc++
+						writeBlocked = true
+						budget = 0
+						break
+					}
+					res.WriteRequests++
+					writeIdx++
+					budget--
+					continue
+				}
+			}
+			break
+		}
+		for budget > 0 && issueFold < len(sched.Folds) && issueFold <= cf+1 {
+			fr := materialize(issueFold)
+			if statIdx < len(fr.stat) {
+				it := &fr.stat[statIdx]
+				it.req.Arrive = now
+				if !sys.Enqueue(&it.req) {
+					res.QueueFullCyc++
+					budget = 0
+					break
+				}
+				res.ReadRequests++
+				statIdx++
+				budget--
+				continue
+			}
+			if streamIdx < len(fr.stream) {
+				if issuedStreamWords-consumedWordsIfCurrent(issueFold, cf, consumedWords) >= opts.StreamWindowWords {
+					break // staging window full
+				}
+				it := &fr.stream[streamIdx]
+				it.req.Arrive = now
+				if !sys.Enqueue(&it.req) {
+					res.QueueFullCyc++
+					budget = 0
+					break
+				}
+				// Account issued words with the same per-line
+				// distribution the consumer uses, so the window
+				// comparison stays exact.
+				inc := fr.streamCum[streamIdx]
+				if streamIdx > 0 {
+					inc -= fr.streamCum[streamIdx-1]
+				}
+				issuedStreamWords += inc
+				res.ReadRequests++
+				streamIdx++
+				budget--
+				continue
+			}
+			// Fold fully issued; move to the next.
+			issueFold++
+			statIdx, streamIdx = 0, 0
+		}
+
+		// 2) Advance compute.
+		fr := materialize(cf)
+		if !started {
+			// All stationary data must have returned.
+			for statDone < len(fr.stat) && fr.stat[statDone].req.Done > 0 &&
+				fr.stat[statDone].req.Done <= now {
+				statDone++
+			}
+			ready := statDone == len(fr.stat) && issueFoldBeyondStationary(issueFold, cf, statIdx, len(fr.stat))
+			if ready {
+				started = true
+				f := &sched.Folds[cf]
+				streamPhaseLeft = f.StreamCycles
+				// Non-stream portion of the pipeline (fill + drain).
+				drainLeft = f.ComputeCycles - f.StreamCycles
+				if drainLeft < 0 {
+					drainLeft = 0
+				}
+				consumedWords = 0
+				streamAvail = 0
+			} else {
+				tick()
+				continue
+			}
+		}
+		// Stream phase: consume ConsumeRate words/cycle if the data is
+		// here and the write path keeps up; otherwise stall this cycle.
+		if streamPhaseLeft > 0 {
+			for streamAvail < len(fr.stream) && fr.stream[streamAvail].req.Done > 0 &&
+				fr.stream[streamAvail].req.Done <= now {
+				streamAvail++
+			}
+			var availWords int64
+			if streamAvail > 0 {
+				availWords = fr.streamCum[streamAvail-1]
+			}
+			f := &sched.Folds[cf]
+			need := consumedWords + f.ConsumeRate
+			total := f.StreamWords()
+			if need > total {
+				need = total
+			}
+			// Write back-pressure: the array can run only a bounded
+			// number of un-retired output lines ahead.
+			backlogged := false
+			if pacedWrites && writeFold == cf {
+				target := pacedTarget(len(fr.writes), consumedWords, total)
+				backlogged = writeBlocked && target-writeIdx > writeBacklogLines
+			}
+			if !backlogged && (availWords >= need || streamAvail == len(fr.stream)) {
+				consumedWords = need
+				streamPhaseLeft--
+			}
+			// else: stall cycle (no progress).
+			tick()
+			continue
+		}
+		if drainLeft > 0 {
+			drainLeft--
+			tick()
+			continue
+		}
+		// Fold complete: release its stream words from the window. If the
+		// producer somehow still points into this fold, skip the rest of
+		// its requests — the data is no longer needed (defensive; with
+		// exact cum accounting completion implies full issue).
+		if issueFold == cf {
+			if n := len(fr.stream); streamIdx < n {
+				already := int64(0)
+				if streamIdx > 0 {
+					already = fr.streamCum[streamIdx-1]
+				}
+				issuedStreamWords += fr.streamCum[n-1] - already
+				streamIdx = n
+			}
+			issueFold++
+			statIdx, streamIdx = 0, 0
+		}
+		if n := len(fr.stream); n > 0 {
+			issuedStreamWords -= fr.streamCum[n-1]
+		}
+		if issuedStreamWords < 0 {
+			issuedStreamWords = 0
+		}
+		cf++
+		started = false
+		statDone = 0
+	}
+
+	// Flush remaining writes.
+	for writeFold < len(folds) {
+		wr := materialize(writeFold)
+		if writeIdx >= len(wr.writes) {
+			release(writeFold)
+			writeFold++
+			writeIdx = 0
+			continue
+		}
+		it := &wr.writes[writeIdx]
+		it.req.Arrive = now
+		if sys.Enqueue(&it.req) {
+			res.WriteRequests++
+			writeIdx++
+		} else {
+			tick()
+		}
+	}
+	if _, err := sys.RunUntilDrained(opts.MaxCycles); err != nil {
+		return nil, err
+	}
+
+	res.TotalCycles = now
+	res.StallCycles = res.TotalCycles - res.ComputeCycles
+	if res.StallCycles < 0 {
+		res.StallCycles = 0
+	}
+	if opts.CollectTrace {
+		for i := range folds {
+			for _, group := range [][]item{folds[i].stat, folds[i].stream, folds[i].writes} {
+				for j := range group {
+					it := &group[j]
+					res.Trace = append(res.Trace, TraceEntry{
+						Arrive: it.req.Arrive,
+						Done:   it.req.Done,
+						Addr:   it.req.Addr,
+						Write:  it.req.Write,
+					})
+				}
+			}
+		}
+	}
+	res.DRAM = sys.Stats()
+	bytes := float64(res.DRAM.Reads+res.DRAM.Writes) * float64(sys.Tech.BurstBytes())
+	if secs := float64(res.DRAM.Cycles) / (sys.Tech.ClockMHz * 1e6); secs > 0 {
+		res.ThroughputMBps = bytes / secs / 1e6
+	}
+	return res, nil
+}
+
+// writeBacklogLines is the output staging capacity in lines: the array may
+// run this many un-retired output lines ahead of the write queue before the
+// pipeline backs up.
+const writeBacklogLines = 32
+
+// pacedTarget returns how many of the fold's write lines should have been
+// issued once `consumed` of `total` stream words are processed.
+func pacedTarget(writes int, consumed, total int64) int {
+	if total <= 0 {
+		return writes
+	}
+	return int(int64(writes) * consumed / total)
+}
+
+// consumedWordsIfCurrent returns the consumed stream words when the issuing
+// fold is the computing fold (window frees as the array consumes); prefetch
+// for future folds gets no credit.
+func consumedWordsIfCurrent(issueFold, cf int, consumed int64) int64 {
+	if issueFold == cf {
+		return consumed
+	}
+	return 0
+}
+
+// issueFoldBeyondStationary reports whether fold cf's stationary requests
+// have all been issued.
+func issueFoldBeyondStationary(issueFold, cf, statIdx, statLen int) bool {
+	if issueFold > cf {
+		return true
+	}
+	if issueFold == cf {
+		return statIdx >= statLen
+	}
+	return false
+}

@@ -1,0 +1,230 @@
+package topology
+
+import "fmt"
+
+// Model names accepted by Builtin.
+const (
+	ModelAlexNet   = "alexnet"
+	ModelResNet18  = "resnet18"
+	ModelResNet50  = "resnet50"
+	ModelRCNN      = "rcnn"
+	ModelViTSmall  = "vit_small"
+	ModelViTBase   = "vit_base"
+	ModelViTLarge  = "vit_large"
+	ModelViTBaseFF = "vit_base_ff"
+)
+
+// BuiltinNames lists the models available from Builtin, in a stable order.
+func BuiltinNames() []string {
+	return []string{
+		ModelAlexNet, ModelResNet18, ModelResNet50, ModelRCNN,
+		ModelViTSmall, ModelViTBase, ModelViTLarge, ModelViTBaseFF,
+	}
+}
+
+// Builtin returns a fresh copy of a built-in topology by name.
+func Builtin(name string) (*Topology, error) {
+	var t *Topology
+	switch name {
+	case ModelAlexNet:
+		t = AlexNet()
+	case ModelResNet18:
+		t = ResNet18()
+	case ModelResNet50:
+		t = ResNet50()
+	case ModelRCNN:
+		t = RCNN()
+	case ModelViTSmall:
+		t = ViT(ViTSmallConfig())
+	case ModelViTBase:
+		t = ViT(ViTBaseConfig())
+	case ModelViTLarge:
+		t = ViT(ViTLargeConfig())
+	case ModelViTBaseFF:
+		t = ViTFeedForward(ViTBaseConfig())
+	default:
+		return nil, fmt.Errorf("topology: unknown builtin model %q", name)
+	}
+	return t, nil
+}
+
+func conv(name string, ih, iw, fh, fw, c, nf, s int) Layer {
+	return Layer{Name: name, Kind: Conv,
+		IfmapH: ih, IfmapW: iw, FilterH: fh, FilterW: fw,
+		Channels: c, NumFilters: nf, Stride: s}
+}
+
+func gemm(name string, m, n, k int) Layer {
+	return Layer{Name: name, Kind: GEMM, M: m, N: n, K: k}
+}
+
+// AlexNet returns the AlexNet convolution and fully-connected layers
+// (Krizhevsky et al., 2012) in SCALE-Sim topology form.
+func AlexNet() *Topology {
+	return &Topology{Name: "alexnet", Layers: []Layer{
+		conv("Conv1", 227, 227, 11, 11, 3, 96, 4),
+		conv("Conv2", 27, 27, 5, 5, 96, 256, 1),
+		conv("Conv3", 13, 13, 3, 3, 256, 384, 1),
+		conv("Conv4", 13, 13, 3, 3, 384, 384, 1),
+		conv("Conv5", 13, 13, 3, 3, 384, 256, 1),
+		gemm("FC6", 1, 4096, 9216),
+		gemm("FC7", 1, 4096, 4096),
+		gemm("FC8", 1, 1000, 4096),
+	}}
+}
+
+// ResNet18 returns the 18-layer residual network (He et al., 2016):
+// the 7×7 stem, four stages of basic blocks and the classifier.
+// Downsampling 1×1 projection convolutions are included.
+func ResNet18() *Topology {
+	return &Topology{Name: "resnet18", Layers: []Layer{
+		conv("Conv1", 224, 224, 7, 7, 3, 64, 2),
+		conv("Conv2_1a", 56, 56, 3, 3, 64, 64, 1),
+		conv("Conv2_1b", 56, 56, 3, 3, 64, 64, 1),
+		conv("Conv2_2a", 56, 56, 3, 3, 64, 64, 1),
+		conv("Conv2_2b", 56, 56, 3, 3, 64, 64, 1),
+		conv("Conv3_1a", 56, 56, 3, 3, 64, 128, 2),
+		conv("Conv3_1b", 28, 28, 3, 3, 128, 128, 1),
+		conv("Conv3_ds", 56, 56, 1, 1, 64, 128, 2),
+		conv("Conv3_2a", 28, 28, 3, 3, 128, 128, 1),
+		conv("Conv3_2b", 28, 28, 3, 3, 128, 128, 1),
+		conv("Conv4_1a", 28, 28, 3, 3, 128, 256, 2),
+		conv("Conv4_1b", 14, 14, 3, 3, 256, 256, 1),
+		conv("Conv4_ds", 28, 28, 1, 1, 128, 256, 2),
+		conv("Conv4_2a", 14, 14, 3, 3, 256, 256, 1),
+		conv("Conv4_2b", 14, 14, 3, 3, 256, 256, 1),
+		conv("Conv5_1a", 14, 14, 3, 3, 256, 512, 2),
+		conv("Conv5_1b", 7, 7, 3, 3, 512, 512, 1),
+		conv("Conv5_ds", 14, 14, 1, 1, 256, 512, 2),
+		conv("Conv5_2a", 7, 7, 3, 3, 512, 512, 1),
+		conv("Conv5_2b", 7, 7, 3, 3, 512, 512, 1),
+		gemm("FC", 1, 1000, 512),
+	}}
+}
+
+// ResNet50 returns the 50-layer bottleneck residual network (He et al.,
+// 2016). Each stage lists its bottleneck blocks (1×1 reduce, 3×3, 1×1
+// expand) plus the stage's projection shortcut.
+func ResNet50() *Topology {
+	t := &Topology{Name: "resnet50"}
+	add := func(l Layer) { t.Layers = append(t.Layers, l) }
+
+	add(conv("Conv1", 224, 224, 7, 7, 3, 64, 2))
+
+	stage := func(name string, hw, cin, cmid, cout, blocks, stride int) {
+		// First block downsamples (stride on the 3x3) and projects. The
+		// real network pads so the post-stride size is hw/stride.
+		add(conv(name+"_1a", hw, hw, 1, 1, cin, cmid, 1))
+		add(conv(name+"_1b", hw, hw, 3, 3, cmid, cmid, stride))
+		h := hw / stride
+		add(conv(name+"_1c", h, h, 1, 1, cmid, cout, 1))
+		add(conv(name+"_ds", hw, hw, 1, 1, cin, cout, stride))
+		for b := 2; b <= blocks; b++ {
+			add(conv(fmt.Sprintf("%s_%da", name, b), h, h, 1, 1, cout, cmid, 1))
+			add(conv(fmt.Sprintf("%s_%db", name, b), h, h, 3, 3, cmid, cmid, 1))
+			add(conv(fmt.Sprintf("%s_%dc", name, b), h, h, 1, 1, cmid, cout, 1))
+		}
+	}
+	stage("Conv2", 56, 64, 64, 256, 3, 1)
+	stage("Conv3", 56, 256, 128, 512, 4, 2)
+	stage("Conv4", 28, 512, 256, 1024, 6, 2)
+	stage("Conv5", 14, 1024, 512, 2048, 3, 2)
+	add(gemm("FC", 1, 1000, 2048))
+	return t
+}
+
+// RCNN returns a Fast R-CNN style detector backbone: a VGG-16 convolutional
+// trunk followed by the per-RoI fully connected detection head (the
+// composition used by the original Fast R-CNN, Girshick 2015).
+func RCNN() *Topology {
+	return &Topology{Name: "rcnn", Layers: []Layer{
+		conv("Conv1_1", 224, 224, 3, 3, 3, 64, 1),
+		conv("Conv1_2", 224, 224, 3, 3, 64, 64, 1),
+		conv("Conv2_1", 112, 112, 3, 3, 64, 128, 1),
+		conv("Conv2_2", 112, 112, 3, 3, 128, 128, 1),
+		conv("Conv3_1", 56, 56, 3, 3, 128, 256, 1),
+		conv("Conv3_2", 56, 56, 3, 3, 256, 256, 1),
+		conv("Conv3_3", 56, 56, 3, 3, 256, 256, 1),
+		conv("Conv4_1", 28, 28, 3, 3, 256, 512, 1),
+		conv("Conv4_2", 28, 28, 3, 3, 512, 512, 1),
+		conv("Conv4_3", 28, 28, 3, 3, 512, 512, 1),
+		conv("Conv5_1", 14, 14, 3, 3, 512, 512, 1),
+		conv("Conv5_2", 14, 14, 3, 3, 512, 512, 1),
+		conv("Conv5_3", 14, 14, 3, 3, 512, 512, 1),
+		// Detection head over 64 region proposals.
+		gemm("FC6", 64, 4096, 25088),
+		gemm("FC7", 64, 4096, 4096),
+		gemm("Cls", 64, 21, 4096),
+		gemm("BBox", 64, 84, 4096),
+	}}
+}
+
+// ViTConfig parameterizes a Vision Transformer encoder.
+type ViTConfig struct {
+	Name   string
+	SeqLen int // number of tokens (patches + class token)
+	Hidden int // embedding dimension
+	Heads  int // attention heads
+	FFN    int // feed-forward inner dimension
+	Layers int // encoder depth
+}
+
+// ViTSmallConfig returns ViT-S/16 at 224×224 (196+1 tokens).
+func ViTSmallConfig() ViTConfig {
+	return ViTConfig{Name: "vit_small", SeqLen: 197, Hidden: 384, Heads: 6, FFN: 1536, Layers: 12}
+}
+
+// ViTBaseConfig returns ViT-B/16 at 224×224.
+func ViTBaseConfig() ViTConfig {
+	return ViTConfig{Name: "vit_base", SeqLen: 197, Hidden: 768, Heads: 12, FFN: 3072, Layers: 12}
+}
+
+// ViTLargeConfig returns ViT-L/16 at 224×224.
+func ViTLargeConfig() ViTConfig {
+	return ViTConfig{Name: "vit_large", SeqLen: 197, Hidden: 1024, Heads: 16, FFN: 4096, Layers: 24}
+}
+
+// ViT lowers one encoder block of the Vision Transformer to GEMMs (QKV
+// projection, attention scores, attention-value product, output projection
+// and the two feed-forward GEMMs) and repeats it Layers times.
+func ViT(cfg ViTConfig) *Topology {
+	t := &Topology{Name: cfg.Name}
+	headDim := cfg.Hidden / cfg.Heads
+	for l := 0; l < cfg.Layers; l++ {
+		p := func(op string) string { return fmt.Sprintf("L%d_%s", l, op) }
+		t.Layers = append(t.Layers,
+			gemm(p("QKV"), cfg.SeqLen, 3*cfg.Hidden, cfg.Hidden),
+			// Attention scores and context for all heads batched along N/K.
+			gemm(p("Scores"), cfg.SeqLen, cfg.SeqLen*cfg.Heads, headDim),
+			gemm(p("Context"), cfg.SeqLen, cfg.Hidden, cfg.SeqLen),
+			gemm(p("Proj"), cfg.SeqLen, cfg.Hidden, cfg.Hidden),
+			gemm(p("FF1"), cfg.SeqLen, cfg.FFN, cfg.Hidden),
+			gemm(p("FF2"), cfg.SeqLen, cfg.Hidden, cfg.FFN),
+		)
+	}
+	return t
+}
+
+// ViTFeedForward returns only the feed-forward (MLP) GEMMs of one encoder
+// block — the workload used by the paper's block-size study (Fig. 8).
+func ViTFeedForward(cfg ViTConfig) *Topology {
+	return &Topology{Name: cfg.Name + "_ff", Layers: []Layer{
+		gemm("FF1", cfg.SeqLen, cfg.FFN, cfg.Hidden),
+		gemm("FF2", cfg.SeqLen, cfg.Hidden, cfg.FFN),
+	}}
+}
+
+// GEMMSweep builds the synthetic GEMM workload grid used by the paper's
+// partitioning study (Fig. 3): every combination of the provided M, N and K
+// values, 27 workloads for 3 values each.
+func GEMMSweep(ms, ns, ks []int) *Topology {
+	t := &Topology{Name: "gemm_sweep"}
+	for _, m := range ms {
+		for _, n := range ns {
+			for _, k := range ks {
+				t.Layers = append(t.Layers, gemm(fmt.Sprintf("M%d_N%d_K%d", m, n, k), m, n, k))
+			}
+		}
+	}
+	return t
+}

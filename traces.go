@@ -1,0 +1,146 @@
+package scalesim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scalesim/internal/dram"
+	"scalesim/internal/sram"
+	"scalesim/internal/systolic"
+	"scalesim/internal/trace"
+)
+
+// WriteTraces emits SCALE-Sim's cycle-accurate trace files for every layer
+// of the topology into dir:
+//
+//	<layer>_sram_ifmap_read.csv   per-cycle ifmap SRAM read addresses
+//	<layer>_sram_filter_read.csv  per-cycle filter SRAM read addresses
+//	<layer>_sram_ofmap_write.csv  per-cycle ofmap SRAM write addresses
+//	<layer>_dram_trace.csv        timestamped DRAM transactions with
+//	                              round-trip latencies (only when the
+//	                              memory model is enabled)
+//
+// Traces can be large: a layer with C compute cycles produces O(C) rows.
+func (s *Simulator) WriteTraces(topo *Topology, dir string) error {
+	if err := s.cfg.Validate(); err != nil {
+		return err
+	}
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := range topo.Layers {
+		if err := s.writeLayerTraces(&topo.Layers[i], dir); err != nil {
+			return fmt.Errorf("scalesim: traces for layer %q: %w", topo.Layers[i].Name, err)
+		}
+	}
+	return nil
+}
+
+func (s *Simulator) writeLayerTraces(l *Layer, dir string) error {
+	m, n, k := l.GEMMDims()
+	base := filepath.Join(dir, sanitize(l.Name))
+
+	fIf, err := os.Create(base + "_sram_ifmap_read.csv")
+	if err != nil {
+		return err
+	}
+	defer fIf.Close()
+	fFl, err := os.Create(base + "_sram_filter_read.csv")
+	if err != nil {
+		return err
+	}
+	defer fFl.Close()
+	fOf, err := os.Create(base + "_sram_ofmap_write.csv")
+	if err != nil {
+		return err
+	}
+	defer fOf.Close()
+
+	wIf := trace.NewSRAMWriter(fIf)
+	wFl := trace.NewSRAMWriter(fFl)
+	wOf := trace.NewSRAMWriter(fOf)
+	err = systolic.Stream(s.cfg.Dataflow, s.cfg.ArrayRows, s.cfg.ArrayCols,
+		systolic.Gemm{M: m, N: n, K: k}, func(d *systolic.Demand) bool {
+			wIf.Row(d.Cycle, d.IfmapReads)
+			wFl.Row(d.Cycle, d.FilterReads)
+			wOf.Row(d.Cycle, d.OfmapWrites)
+			return true
+		})
+	if err != nil {
+		return err
+	}
+	for _, w := range []*trace.SRAMWriter{wIf, wFl, wOf} {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+
+	if !s.cfg.Memory.Enabled {
+		return nil
+	}
+	tech, err := dram.TechByName(s.cfg.Memory.Technology)
+	if err != nil {
+		return err
+	}
+	sys, err := dram.New(tech, dram.Options{
+		Channels:   s.cfg.Memory.Channels,
+		QueueDepth: s.cfg.Memory.ReadQueueDepth,
+	})
+	if err != nil {
+		return err
+	}
+	ifW, flW, ofW := s.cfg.SRAMWords()
+	sched, err := sram.BuildSchedule(s.cfg.Dataflow, s.cfg.ArrayRows, s.cfg.ArrayCols,
+		systolic.Gemm{M: m, N: n, K: k}, sram.ScheduleOptions{
+			IfmapSRAMWords: ifW, FilterSRAMWords: flW, OfmapSRAMWords: ofW,
+		})
+	if err != nil {
+		return err
+	}
+	res, err := sram.Simulate(sched, sys, sram.Options{
+		WordBytes:           s.cfg.WordBytes,
+		MaxRequestsPerCycle: maxi(1, s.cfg.BandwidthWords*s.cfg.WordBytes/64),
+		StreamWindowWords:   ifW / 2,
+		CollectTrace:        true,
+	})
+	if err != nil {
+		return err
+	}
+	fD, err := os.Create(base + "_dram_trace.csv")
+	if err != nil {
+		return err
+	}
+	defer fD.Close()
+	wD := trace.NewDRAMWriter(fD)
+	for _, e := range res.Trace {
+		lat := e.Done - e.Arrive
+		if lat < 0 {
+			lat = 0
+		}
+		wD.Record(trace.DRAMRecord{Cycle: e.Arrive, Addr: e.Addr, Write: e.Write, Latency: lat})
+	}
+	return wD.Close()
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
