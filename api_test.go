@@ -1,0 +1,441 @@
+package scalesim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// reportBytes renders every report of a result for byte-level comparison.
+func reportBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range res.Reports().All() {
+		if _, err := r.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Energy.Enabled = true
+	topo, err := BuiltinTopology("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := New(cfg)
+	seq, err := sim.Run(context.Background(), topo, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 8} {
+		got, err := sim.Run(context.Background(), topo, WithParallelism(par))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(seq.Layers, got.Layers) {
+			t.Fatalf("parallelism %d: layer results differ from sequential", par)
+		}
+		if !bytes.Equal(reportBytes(t, seq), reportBytes(t, got)) {
+			t.Fatalf("parallelism %d: report CSVs not byte-identical", par)
+		}
+	}
+}
+
+func TestParallelMatchesSequentialWithMemory(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Memory.Enabled = true
+	topo, err := BuiltinTopology("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo = topo.Sub(2, 5) // three mid-size layers keep the test fast
+	sim := New(cfg)
+	seq, err := sim.Run(context.Background(), topo, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sim.Run(context.Background(), topo, WithParallelism(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Layers, par.Layers) {
+		t.Fatal("memory-model results differ between sequential and parallel runs")
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	cfg := DefaultConfig()
+	topo, err := BuiltinTopology("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	maxDone := 0
+	_, err = New(cfg).Run(context.Background(), topo, WithParallelism(4),
+		WithProgress(func(p LayerProgress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if p.Err != nil {
+				t.Errorf("layer %d: unexpected error %v", p.Index, p.Err)
+			}
+			if seen[p.Index] {
+				t.Errorf("layer %d reported twice", p.Index)
+			}
+			seen[p.Index] = true
+			if p.Done <= maxDone {
+				t.Errorf("Done not increasing: %d after %d", p.Done, maxDone)
+			}
+			maxDone = p.Done
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(topo.Layers) {
+		t.Fatalf("progress for %d layers, want %d", len(seen), len(topo.Layers))
+	}
+	if maxDone != len(topo.Layers) {
+		t.Fatalf("final Done %d, want %d", maxDone, len(topo.Layers))
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	cfg := DefaultConfig()
+	topo, err := BuiltinTopology("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		completed := 0
+		_, err := New(cfg).Run(ctx, topo, WithParallelism(par),
+			WithProgress(func(p LayerProgress) {
+				completed++
+				cancel() // abort after the first finished layer
+			}))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: got error %v, want context.Canceled", par, err)
+		}
+		if completed >= len(topo.Layers) {
+			t.Errorf("parallelism %d: all %d layers ran despite cancellation", par, completed)
+		}
+		cancel()
+	}
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	topo, err := BuiltinTopology("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(DefaultConfig()).Run(ctx, topo); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// failStage fails on a specific layer name.
+type failStage struct{ layer string }
+
+func (f failStage) Name() string { return "fail" }
+func (f failStage) Apply(_ context.Context, sc *StageContext, _ *LayerResult) error {
+	if sc.Layer.Name == f.layer {
+		return fmt.Errorf("injected failure")
+	}
+	return nil
+}
+
+func TestRunFirstErrorCancels(t *testing.T) {
+	cfg := DefaultConfig()
+	topo, err := BuiltinTopology("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := topo.Layers[3].Name
+	stages := append(DefaultStages(), failStage{layer: bad})
+	_, err = New(cfg).Run(context.Background(), topo, WithParallelism(4), WithStages(stages...))
+	if err == nil {
+		t.Fatal("run succeeded despite failing stage")
+	}
+	want := fmt.Sprintf("layer %q", bad)
+	if got := err.Error(); !bytes.Contains([]byte(got), []byte(want)) {
+		t.Fatalf("error %q does not name failing layer %q", got, bad)
+	}
+}
+
+// wrapStage fails on one layer with an error wrapping a context sentinel,
+// mimicking a custom backend whose own timeout fired.
+type wrapStage struct{ layer string }
+
+func (w wrapStage) Name() string { return "wrap" }
+func (w wrapStage) Apply(_ context.Context, sc *StageContext, _ *LayerResult) error {
+	if sc.Layer.Name == w.layer {
+		return fmt.Errorf("backend timeout: %w", context.DeadlineExceeded)
+	}
+	return nil
+}
+
+// TestRunStageTimeoutErrorNotSwallowed guards against the parallel path
+// mistaking a stage's own wrapped context error for internal cancellation
+// and returning a nil error with zero-valued layers.
+func TestRunStageTimeoutErrorNotSwallowed(t *testing.T) {
+	cfg := DefaultConfig()
+	topo, err := BuiltinTopology("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := append(DefaultStages(), wrapStage{layer: topo.Layers[2].Name})
+	for _, par := range []int{1, 4} {
+		res, err := New(cfg).Run(context.Background(), topo, WithParallelism(par), WithStages(stages...))
+		if err == nil {
+			t.Fatalf("parallelism %d: wrapped timeout error swallowed, got result %v", par, res != nil)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("parallelism %d: error %v does not wrap the cause", par, err)
+		}
+	}
+}
+
+// countStage counts Apply calls; used to verify custom stages run.
+type countStage struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *countStage) Name() string { return "count" }
+func (c *countStage) Apply(_ context.Context, _ *StageContext, _ *LayerResult) error {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+func TestWithStagesCustomPipeline(t *testing.T) {
+	cfg := DefaultConfig()
+	topo, err := BuiltinTopology("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &countStage{}
+	res, err := New(cfg, WithStages(append(DefaultStages(), cs)...)).
+		Run(context.Background(), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.n != len(topo.Layers) {
+		t.Fatalf("custom stage ran %d times, want %d", cs.n, len(topo.Layers))
+	}
+	// Compute-only pipeline: layers still get cycles, but no DRAM words
+	// (the memory stage records minimum traffic).
+	res2, err := New(cfg, WithStages(ComputeStage())).Run(context.Background(), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TotalCycles() != res.TotalCycles() {
+		t.Errorf("compute-only cycles %d != full pipeline %d (memory model off)",
+			res2.TotalCycles(), res.TotalCycles())
+	}
+	for i := range res2.Layers {
+		if res2.Layers[i].DRAMReadWords != 0 {
+			t.Errorf("layer %d: DRAM words set without the memory stage", i)
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	topo, err := BuiltinTopology("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo = topo.Sub(0, 4)
+	arrays := []int{16, 32, 64}
+	var points []SweepPoint
+	for _, arr := range arrays {
+		cfg := DefaultConfig()
+		cfg.ArrayRows, cfg.ArrayCols = arr, arr
+		points = append(points, SweepPoint{
+			Name:     fmt.Sprintf("%dx%d", arr, arr),
+			Config:   cfg,
+			Topology: topo,
+		})
+	}
+	results, err := Sweep(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(points) {
+		t.Fatalf("got %d results, want %d", len(results), len(points))
+	}
+	for i, sr := range results {
+		if sr.Err != nil {
+			t.Fatalf("point %d: %v", i, sr.Err)
+		}
+		if sr.Point.Name != points[i].Name {
+			t.Errorf("result %d out of order: %s", i, sr.Point.Name)
+		}
+		// Each point must match a standalone run of the same config.
+		solo, err := New(points[i].Config).Run(context.Background(), topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(solo.Layers, sr.Result.Layers) {
+			t.Errorf("point %s: sweep result differs from standalone run", sr.Point.Name)
+		}
+	}
+	// Bigger arrays finish sooner on these conv layers.
+	if !(results[2].Result.TotalCycles() < results[0].Result.TotalCycles()) {
+		t.Errorf("64x64 cycles %d not below 16x16 cycles %d",
+			results[2].Result.TotalCycles(), results[0].Result.TotalCycles())
+	}
+}
+
+func TestSweepPointErrorDoesNotCancelSiblings(t *testing.T) {
+	topo, err := BuiltinTopology("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo = topo.Sub(0, 2)
+	good := DefaultConfig()
+	bad := DefaultConfig()
+	bad.ArrayRows = -1 // fails validation
+	results, err := Sweep(context.Background(), []SweepPoint{
+		{Name: "bad", Config: bad, Topology: topo},
+		{Name: "good", Config: good, Topology: topo},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Error("invalid config did not error")
+	}
+	if results[1].Err != nil || results[1].Result == nil {
+		t.Errorf("valid sibling failed: %v", results[1].Err)
+	}
+}
+
+// TestSweepCancelledFillsErrs: points never dispatched because the context
+// was cancelled must still report an error, not a nil/nil SweepResult.
+func TestSweepCancelledFillsErrs(t *testing.T) {
+	topo, err := BuiltinTopology("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []SweepPoint
+	for i := 0; i < 16; i++ {
+		points = append(points, SweepPoint{
+			Name: fmt.Sprintf("p%d", i), Config: DefaultConfig(), Topology: topo,
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := false
+	results, err := Sweep(ctx, points, WithParallelism(1),
+		WithProgress(func(LayerProgress) {
+			if !started {
+				started = true
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	for i, sr := range results {
+		if (sr.Result == nil) == (sr.Err == nil) {
+			t.Errorf("point %d: Result=%v Err=%v violates one-of contract",
+				i, sr.Result != nil, sr.Err)
+		}
+		if sr.Point.Name != points[i].Name {
+			t.Errorf("point %d: missing Point metadata (%q)", i, sr.Point.Name)
+		}
+	}
+	cancel()
+}
+
+func TestReportSetWriteAll(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Energy.Enabled = true
+	topo, err := BuiltinTopology("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(cfg).Run(context.Background(), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.Reports()
+	if rs.Memory != nil {
+		t.Error("memory report present although the memory model was disabled")
+	}
+	if rs.Sparse != nil {
+		t.Error("sparse report present although no layer ran sparse")
+	}
+	if rs.Energy == nil {
+		t.Fatal("energy report missing although energy modeling was enabled")
+	}
+	dir := t.TempDir()
+	if err := rs.WriteAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{ComputeReportFile, BandwidthReportFile, EnergyReportFile} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(b) == 0 {
+			t.Errorf("%s: empty report", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, MemoryReportFile)); !os.IsNotExist(err) {
+		t.Error("MEMORY_REPORT.csv written although the memory model was disabled")
+	}
+}
+
+// TestWriteReportsSkipsDisabledMemoryRows guards the junk-row fix: with the
+// memory model disabled, the memory CSV must contain the header only, not a
+// zero-valued row per layer.
+func TestWriteReportsSkipsDisabledMemoryRows(t *testing.T) {
+	cfg := DefaultConfig()
+	topo, err := BuiltinTopology("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(cfg).Run(context.Background(), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem bytes.Buffer
+	if err := WriteReports(res, nil, nil, &mem, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(mem.Bytes(), []byte("\n")); n != 1 {
+		t.Fatalf("memory CSV has %d lines, want header only:\n%s", n, mem.String())
+	}
+}
+
+func TestRunTopologyShim(t *testing.T) {
+	cfg := DefaultConfig()
+	topo, err := BuiltinTopology("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := New(cfg).RunTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := New(cfg).Run(context.Background(), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old.Layers, cur.Layers) {
+		t.Error("deprecated RunTopology differs from Run")
+	}
+}

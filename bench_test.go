@@ -8,6 +8,8 @@ package scalesim_test
 // Full-scale regeneration lives in cmd/experiments.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"scalesim"
@@ -242,9 +244,59 @@ func BenchmarkEndToEnd(b *testing.B) {
 		b.Fatal(err)
 	}
 	sim := scalesim.New(cfg)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(topo); err != nil {
+		if _, err := sim.Run(ctx, topo, scalesim.WithParallelism(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunParallelism measures the layer worker pool on a multi-layer
+// topology with the cycle-accurate memory model enabled — the wall-clock
+// win of the parallel engine over the old sequential facade.
+func BenchmarkRunParallelism(b *testing.B) {
+	cfg := scalesim.DefaultConfig()
+	cfg.Memory.Enabled = true
+	topo, err := scalesim.BuiltinTopology("alexnet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo = topo.Sub(1, 7) // six layers of mixed intensity
+	sim := scalesim.New(cfg)
+	ctx := context.Background()
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(ctx, topo, scalesim.WithParallelism(par)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweep measures the sweep engine fanning one workload across
+// array-size variants.
+func BenchmarkSweep(b *testing.B) {
+	topo, err := scalesim.BuiltinTopology("alexnet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var points []scalesim.SweepPoint
+	for _, arr := range []int{16, 32, 64, 128} {
+		cfg := scalesim.DefaultConfig()
+		cfg.ArrayRows, cfg.ArrayCols = arr, arr
+		cfg.Energy.Enabled = true
+		points = append(points, scalesim.SweepPoint{
+			Name: fmt.Sprintf("%dx%d", arr, arr), Config: cfg, Topology: topo,
+		})
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scalesim.Sweep(ctx, points); err != nil {
 			b.Fatal(err)
 		}
 	}

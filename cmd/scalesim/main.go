@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -93,8 +95,11 @@ func run() error {
 		cfg.Sparsity.Enabled = true
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	sim := scalesim.New(cfg)
-	res, err := sim.Run(topo)
+	res, err := sim.Run(ctx, topo)
 	if err != nil {
 		return err
 	}
@@ -104,65 +109,13 @@ func run() error {
 		}
 	}
 
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		return err
-	}
-	files := map[string]*os.File{}
-	open := func(name string) (*os.File, error) {
-		f, err := os.Create(filepath.Join(*outDir, name))
-		if err != nil {
-			return nil, err
-		}
-		files[name] = f
-		return f, nil
-	}
-	defer func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}()
-	comp, err := open("COMPUTE_REPORT.csv")
-	if err != nil {
-		return err
-	}
-	bw, err := open("BANDWIDTH_REPORT.csv")
-	if err != nil {
-		return err
-	}
-	var mem, sp, en *os.File
-	if cfg.Memory.Enabled {
-		if mem, err = open("MEMORY_REPORT.csv"); err != nil {
-			return err
-		}
-	}
-	if cfg.Sparsity.Enabled {
-		if sp, err = open("SPARSE_REPORT.csv"); err != nil {
-			return err
-		}
-	}
-	if cfg.Energy.Enabled {
-		if en, err = open("ENERGY_REPORT.csv"); err != nil {
-			return err
-		}
-	}
-	if err := scalesim.WriteReports(res, comp, bw, fileOrNil(mem), fileOrNil(sp), fileOrNil(en)); err != nil {
+	if err := res.Reports().WriteAll(*outDir); err != nil {
 		return err
 	}
 	fmt.Println(res.Summary())
 	fmt.Printf("reports written to %s\n", *outDir)
 	return nil
 }
-
-// fileOrNil converts a possibly-nil *os.File into a nil io.Writer interface
-// (a typed nil would defeat the nil checks in WriteReports).
-func fileOrNil(f *os.File) interfaceWriter {
-	if f == nil {
-		return nil
-	}
-	return f
-}
-
-type interfaceWriter = interface{ Write([]byte) (int, error) }
 
 func loadTopology(arg string) (*scalesim.Topology, error) {
 	for _, n := range scalesim.BuiltinTopologyNames() {

@@ -2,9 +2,13 @@
 // watch memory throughput scale for memory-bound layers while saturating
 // for compute-bound ones — the paper's Figure 9 phenomenon, plus row-buffer
 // statistics from the Ramulator-style model.
+//
+// The channel sweep is one Sweep call: the four memory configurations run
+// concurrently on the worker pool.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,8 +24,7 @@ func main() {
 	}
 	topo = topo.Sub(1, 4) // three conv layers of different intensity
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "channels\tlayer\ttotal cycles\tstalls\tthroughput(MB/s)\trow hit rate")
+	var points []scalesim.SweepPoint
 	for _, ch := range []int{1, 2, 4, 8} {
 		cfg := scalesim.DefaultConfig()
 		cfg.ArrayRows, cfg.ArrayCols = 64, 64
@@ -30,12 +33,25 @@ func main() {
 		cfg.Memory.Channels = ch
 		cfg.Memory.ReadQueueDepth = 128
 		cfg.Memory.WriteQueueDepth = 128
+		points = append(points, scalesim.SweepPoint{
+			Name:     fmt.Sprintf("%dch", ch),
+			Config:   cfg,
+			Topology: topo,
+		})
+	}
 
-		res, err := scalesim.New(cfg).Run(topo)
-		if err != nil {
-			log.Fatal(err)
+	results, err := scalesim.Sweep(context.Background(), points)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "channels\tlayer\ttotal cycles\tstalls\tthroughput(MB/s)\trow hit rate")
+	for _, sr := range results {
+		if sr.Err != nil {
+			log.Fatalf("%s: %v", sr.Point.Name, sr.Err)
 		}
-		for _, l := range res.Layers {
+		for _, l := range sr.Result.Layers {
 			hits := l.Memory.RowHits
 			total := hits + l.Memory.RowMisses + l.Memory.RowConflicts
 			rate := 0.0
@@ -43,7 +59,8 @@ func main() {
 				rate = float64(hits) / float64(total)
 			}
 			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%.1f\t%.2f\n",
-				ch, l.Layer.Name, l.TotalCycles, l.StallCycles, l.ThroughputMBps, rate)
+				sr.Point.Config.Memory.Channels, l.Layer.Name,
+				l.TotalCycles, l.StallCycles, l.ThroughputMBps, rate)
 		}
 	}
 	tw.Flush()

@@ -2,9 +2,13 @@
 // product across dataflows and array sizes for ViT-base — reproducing the
 // paper's headline design-space finding that the latency-optimal 128×128
 // array is not the energy- or EdP-optimal choice.
+//
+// The 3 dataflows × 3 array sizes grid is expressed as one Sweep call, so
+// the nine simulations share a worker pool instead of running serially.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -19,6 +23,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var points []scalesim.SweepPoint
+	for _, df := range []scalesim.Dataflow{
+		scalesim.OutputStationary, scalesim.WeightStationary, scalesim.InputStationary,
+	} {
+		for _, arr := range []int{32, 64, 128} {
+			cfg := scalesim.DefaultConfig()
+			cfg.ArrayRows, cfg.ArrayCols = arr, arr
+			cfg.Dataflow = df
+			cfg.Energy.Enabled = true
+			points = append(points, scalesim.SweepPoint{
+				Name:     fmt.Sprintf("%v/%dx%d", df, arr, arr),
+				Config:   cfg,
+				Topology: topo,
+			})
+		}
+	}
+
+	results, err := scalesim.Sweep(context.Background(), points)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "dataflow\tarray\tcycles\tenergy(mJ)\tEdP(cycle*mJ)")
 	type best struct {
@@ -29,33 +55,24 @@ func main() {
 	bestEn := best{val: 1e300}
 	bestEdP := best{val: 1e300}
 
-	for _, df := range []scalesim.Dataflow{
-		scalesim.OutputStationary, scalesim.WeightStationary, scalesim.InputStationary,
-	} {
-		for _, arr := range []int{32, 64, 128} {
-			cfg := scalesim.DefaultConfig()
-			cfg.ArrayRows, cfg.ArrayCols = arr, arr
-			cfg.Dataflow = df
-			cfg.Energy.Enabled = true
-
-			res, err := scalesim.New(cfg).Run(topo)
-			if err != nil {
-				log.Fatal(err)
-			}
-			cycles := res.TotalCycles()
-			mj := res.TotalEnergyMJ()
-			edp := float64(cycles) * mj
-			label := fmt.Sprintf("%v/%dx%d", df, arr, arr)
-			fmt.Fprintf(tw, "%v\t%dx%d\t%d\t%.3f\t%.1f\n", df, arr, arr, cycles, mj, edp)
-			if v := float64(cycles); v < bestLat.val {
-				bestLat = best{label, v}
-			}
-			if mj < bestEn.val {
-				bestEn = best{label, mj}
-			}
-			if edp < bestEdP.val {
-				bestEdP = best{label, edp}
-			}
+	for _, sr := range results {
+		if sr.Err != nil {
+			log.Fatalf("%s: %v", sr.Point.Name, sr.Err)
+		}
+		cfg := sr.Point.Config
+		cycles := sr.Result.TotalCycles()
+		mj := sr.Result.TotalEnergyMJ()
+		edp := float64(cycles) * mj
+		fmt.Fprintf(tw, "%v\t%dx%d\t%d\t%.3f\t%.1f\n",
+			cfg.Dataflow, cfg.ArrayRows, cfg.ArrayCols, cycles, mj, edp)
+		if v := float64(cycles); v < bestLat.val {
+			bestLat = best{sr.Point.Name, v}
+		}
+		if mj < bestEn.val {
+			bestEn = best{sr.Point.Name, mj}
+		}
+		if edp < bestEdP.val {
+			bestEdP = best{sr.Point.Name, edp}
 		}
 	}
 	tw.Flush()

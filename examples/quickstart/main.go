@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,7 +21,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := scalesim.New(cfg).Run(topo)
+	res, err := scalesim.New(cfg).Run(context.Background(), topo)
 	if err != nil {
 		log.Fatal(err)
 	}

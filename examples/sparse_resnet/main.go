@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -27,7 +28,7 @@ func main() {
 	// speedups are apples-to-apples.
 	denseCfg := scalesim.DefaultConfig()
 	denseCfg.Dataflow = scalesim.WeightStationary
-	denseRes, err := scalesim.New(denseCfg).Run(base)
+	denseRes, err := scalesim.New(denseCfg).Run(context.Background(), base)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func main() {
 
 	for _, sp := range []scalesim.Sparsity{{N: 3, M: 4}, {N: 2, M: 4}, {N: 1, M: 4}} {
 		topo := base.WithSparsity(sp)
-		res, err := scalesim.New(cfg).Run(topo)
+		res, err := scalesim.New(cfg).Run(context.Background(), topo)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func main() {
 	cfg.Sparsity.OptimizedMapping = true
 	cfg.Sparsity.BlockSize = 8
 	cfg.Sparsity.Seed = 42
-	res, err := scalesim.New(cfg).Run(base)
+	res, err := scalesim.New(cfg).Run(context.Background(), base)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,7 +5,10 @@
 // energy-delay product derive from the cycle count and clock frequency.
 package energy
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Component identifies an energy-bearing hardware block.
 type Component string
@@ -188,12 +191,23 @@ func (ct *Counts) Merge(other *Counts) {
 	}
 }
 
-// Each visits every non-zero (component, action, count) deterministically
-// is not guaranteed; use for aggregation only.
+// Each visits every non-zero (component, action, count) in sorted order,
+// so float aggregation over the counts is deterministic run to run.
 func (ct *Counts) Each(fn func(Component, Action, int64)) {
-	for c, acts := range ct.m {
-		for a, n := range acts {
-			if n != 0 {
+	comps := make([]Component, 0, len(ct.m))
+	for c := range ct.m {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+	for _, c := range comps {
+		acts := ct.m[c]
+		names := make([]Action, 0, len(acts))
+		for a := range acts {
+			names = append(names, a)
+		}
+		sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+		for _, a := range names {
+			if n := acts[a]; n != 0 {
 				fn(c, a, n)
 			}
 		}

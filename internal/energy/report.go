@@ -107,8 +107,10 @@ func (e *Estimator) Estimate(ct *Counts, cycles int64) (*Report, error) {
 	}
 	rep.LeakagePJ = e.ERT.PELeakagePJPerCycle*float64(e.PEs)*float64(cycles) +
 		e.ERT.SRAMLeakagePJPerKBCycle*float64(e.SRAMKB)*float64(cycles)
-	for _, pj := range rep.PerComponent {
-		rep.TotalPJ += pj
+	// Sum in sorted component order: map iteration order would make the
+	// float total wobble in the last ulp between identical runs.
+	for _, b := range rep.Breakdown() {
+		rep.TotalPJ += b.PJ
 	}
 	rep.TotalPJ += rep.LeakagePJ
 	return rep, nil

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"scalesim"
@@ -190,8 +192,13 @@ type Table5Row struct {
 	EdP            float64 // cycles × mJ per layer
 }
 
-// RunTable5 executes the comparison.
+// RunTable5 executes the comparison. The memory-inclusive variant fans the
+// workload × array grid through the public sweep engine, so the config
+// points run concurrently on the worker pool.
 func RunTable5(p Table5Params) ([]Table5Row, error) {
+	if p.WithMemory {
+		return runTable5Sweep(p)
+	}
 	ert := energy.Default65nm()
 	ecfg := config.Default().Energy
 	var out []Table5Row
@@ -207,34 +214,72 @@ func RunTable5(p Table5Params) ([]Table5Row, error) {
 		for _, arr := range p.Arrays {
 			var cycles int64
 			var mj float64
-			if p.WithMemory {
-				cfg := scalesim.DefaultConfig()
-				cfg.ArrayRows, cfg.ArrayCols = arr, arr
-				cfg.Dataflow = p.Dataflow
-				cfg.Energy.Enabled = true
-				cfg.Memory.Enabled = true
-				res, err := scalesim.New(cfg).Run(topo)
+			for li := range topo.Layers {
+				m, n, k := topo.Layers[li].GEMMDims()
+				rep, est, err := energyForRun(ert, &ecfg, p.Dataflow, arr, arr, m, n, k, p.SRAMKB)
 				if err != nil {
 					return nil, err
 				}
-				cycles = res.TotalCycles()
-				mj = res.TotalEnergyMJ()
-			} else {
-				for li := range topo.Layers {
-					m, n, k := topo.Layers[li].GEMMDims()
-					rep, est, err := energyForRun(ert, &ecfg, p.Dataflow, arr, arr, m, n, k, p.SRAMKB)
-					if err != nil {
-						return nil, err
-					}
-					cycles += est.ComputeCycles
-					mj += rep.TotalMJ()
-				}
+				cycles += est.ComputeCycles
+				mj += rep.TotalMJ()
 			}
 			row := Table5Row{Workload: name, Array: arr,
 				CyclesPerLayer: cycles / layers, EnergyMJ: mj}
 			row.EdP = float64(row.CyclesPerLayer) * mj
 			out = append(out, row)
 		}
+	}
+	return out, nil
+}
+
+// runTable5Sweep is the end-to-end (DRAM-inclusive) variant on the sweep
+// engine: one sweep point per workload × array size.
+func runTable5Sweep(p Table5Params) ([]Table5Row, error) {
+	type key struct {
+		workload string
+		array    int
+	}
+	var points []scalesim.SweepPoint
+	var keys []key
+	layersPer := map[string]int64{}
+	for _, name := range p.Workloads {
+		topo, err := topology.Builtin(name)
+		if err != nil {
+			return nil, err
+		}
+		if p.Layers > 0 {
+			topo = topo.Sub(0, p.Layers)
+		}
+		layersPer[name] = int64(len(topo.Layers))
+		for _, arr := range p.Arrays {
+			cfg := scalesim.DefaultConfig()
+			cfg.ArrayRows, cfg.ArrayCols = arr, arr
+			cfg.Dataflow = p.Dataflow
+			cfg.Energy.Enabled = true
+			cfg.Memory.Enabled = true
+			points = append(points, scalesim.SweepPoint{
+				Name:     fmt.Sprintf("%s/%dx%d", name, arr, arr),
+				Config:   cfg,
+				Topology: topo,
+			})
+			keys = append(keys, key{workload: name, array: arr})
+		}
+	}
+	results, err := scalesim.Sweep(context.Background(), points)
+	if err != nil {
+		return nil, err
+	}
+	var out []Table5Row
+	for i, sr := range results {
+		if sr.Err != nil {
+			return nil, fmt.Errorf("table5 point %s: %w", sr.Point.Name, sr.Err)
+		}
+		k := keys[i]
+		mj := sr.Result.TotalEnergyMJ()
+		row := Table5Row{Workload: k.workload, Array: k.array,
+			CyclesPerLayer: sr.Result.TotalCycles() / layersPer[k.workload], EnergyMJ: mj}
+		row.EdP = float64(row.CyclesPerLayer) * mj
+		out = append(out, row)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -67,7 +68,9 @@ func RunTable4(p Table4Params) ([]Table4Row, error) {
 		// measured against a realistic baseline.
 		timeRun := func(cfg scalesim.Config, t *topology.Topology) (time.Duration, error) {
 			start := time.Now()
-			if _, err := scalesim.New(cfg).Run(t); err != nil {
+			// Sequential so the ratios measure model cost, not pool width.
+			_, err := scalesim.New(cfg).Run(context.Background(), t, scalesim.WithParallelism(1))
+			if err != nil {
 				return 0, err
 			}
 			for li := range t.Layers {

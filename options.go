@@ -1,0 +1,67 @@
+package scalesim
+
+import "scalesim/internal/energy"
+
+// options collects the tunables shared by New, Run and Sweep.
+type options struct {
+	ert         *energy.ERT
+	parallelism int
+	progress    func(LayerProgress)
+	stages      []Stage
+}
+
+func defaultOptions() options {
+	return options{ert: energy.Default65nm(), stages: DefaultStages()}
+}
+
+// Option configures a Simulator (when passed to New), one run (when passed
+// to Run) or a sweep (when passed to Sweep). Run-level options apply on top
+// of the Simulator's.
+type Option func(*options)
+
+// WithERT overrides the energy reference table (user-customized component
+// descriptions, as Accelergy permits). The table is read concurrently by
+// the worker pool and must not be mutated while a run is in flight.
+func WithERT(e *ERT) Option {
+	return func(o *options) {
+		if e != nil {
+			o.ert = e
+		}
+	}
+}
+
+// WithParallelism bounds the worker pool that simulates layers (for Run)
+// or sweep points (for Sweep). n <= 0 selects GOMAXPROCS, the default.
+// Results are deterministic and identical at any parallelism.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
+}
+
+// LayerProgress reports one finished layer to a WithProgress callback.
+type LayerProgress struct {
+	Point string // sweep point name ("" for a plain Run)
+	Index int    // layer position within the topology
+	Total int    // layers in the topology
+	Layer string // layer name
+	Done  int    // layers finished so far in this run, including this one
+	Err   error  // non-nil when the layer failed
+}
+
+// WithProgress registers a callback invoked once per finished layer.
+// Callbacks are serialized (never concurrent) but arrive in completion
+// order, which under parallelism is not topology order.
+func WithProgress(fn func(LayerProgress)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// WithStages replaces the per-layer model pipeline. The default is
+// DefaultStages (compute, layout, memory, energy); custom stages can be
+// appended to it or substituted for a built-in pass. Stages run in order
+// for every layer and must be safe for concurrent use across layers.
+func WithStages(stages ...Stage) Option {
+	return func(o *options) {
+		if len(stages) > 0 {
+			o.stages = stages
+		}
+	}
+}

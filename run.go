@@ -1,0 +1,186 @@
+package scalesim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Run simulates every layer of the topology and returns per-layer results
+// in topology order.
+//
+// Layers are independent and run on a bounded worker pool; the default
+// width is GOMAXPROCS, WithParallelism overrides it. Results are
+// deterministic: any parallelism produces the same Result. The context
+// cancels the run between layers (and between stages of a layer); the
+// first layer error cancels the remaining work and is returned.
+func (s *Simulator) Run(ctx context.Context, topo *Topology, opts ...Option) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := s.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	o := s.opts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	res := &Result{Config: s.cfg, Layers: make([]LayerResult, len(topo.Layers))}
+	if err := runLayers(ctx, &s.cfg, &o, topo, res.Layers); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// isCtxSentinel reports whether err is a bare context error — exactly what
+// runLayer returns when it aborts between stages on cancellation. Stage
+// failures are always wrapped with the stage name, so a stage error that
+// merely wraps context.DeadlineExceeded (e.g. a backend's own timeout) is
+// not a sentinel and is reported as a real layer error.
+func isCtxSentinel(err error) bool {
+	return err == context.Canceled || err == context.DeadlineExceeded
+}
+
+// runLayers fills out[i] with the result of topo.Layers[i] using a pool of
+// workers. On error the pool drains; the lowest-index error among the
+// layers that actually ran is reported (layers past the first failure may
+// never start, so under parallelism the surfaced error can differ between
+// runs when several layers fail).
+func runLayers(ctx context.Context, cfg *Config, o *options, topo *Topology, out []LayerResult) error {
+	n := len(topo.Layers)
+	if n == 0 {
+		return ctx.Err()
+	}
+	workers := o.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	if workers == 1 {
+		for i := range topo.Layers {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lr, err := runLayer(ctx, cfg, o, &topo.Layers[i])
+			if err == nil {
+				out[i] = *lr
+			}
+			if o.progress != nil {
+				o.progress(LayerProgress{
+					Index: i, Total: n, Layer: topo.Layers[i].Name, Done: i + 1, Err: err,
+				})
+			}
+			if err != nil {
+				if isCtxSentinel(err) {
+					return err
+				}
+				return layerError(&topo.Layers[i], err)
+			}
+		}
+		return nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu   sync.Mutex
+		done int
+		errs = make([]error, n)
+	)
+	forEachIndex(runCtx, n, workers, func(i int) {
+		if runCtx.Err() != nil {
+			return
+		}
+		lr, err := runLayer(runCtx, cfg, o, &topo.Layers[i])
+		mu.Lock()
+		if err != nil {
+			errs[i] = err
+			cancel() // first error aborts the remaining layers
+		} else {
+			out[i] = *lr
+		}
+		done++
+		if o.progress != nil {
+			// mu keeps callbacks serialized.
+			o.progress(LayerProgress{Index: i, Total: n, Layer: topo.Layers[i].Name, Done: done, Err: err})
+		}
+		mu.Unlock()
+	})
+
+	for i, err := range errs {
+		if err == nil || isCtxSentinel(err) {
+			// nil, or a layer aborted by cancellation — not a failure of
+			// its own.
+			continue
+		}
+		return layerError(&topo.Layers[i], err)
+	}
+	// No layer failed outright; surface external cancellation, if any.
+	return ctx.Err()
+}
+
+// forEachIndex runs fn(i) for every i in [0, n) on a pool of `workers`
+// goroutines and blocks until all dispatched calls return. Cancelling ctx
+// stops dispatching new indices; fn is never called for the rest.
+func forEachIndex(ctx context.Context, n, workers int, fn func(int)) {
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func layerError(l *Layer, err error) error {
+	return fmt.Errorf("scalesim: layer %q: %w", l.Name, err)
+}
+
+// runLayer pushes one layer through the stage pipeline.
+func runLayer(ctx context.Context, cfg *Config, o *options, l *Layer) (*LayerResult, error) {
+	m, n, k := l.GEMMDims()
+	lr := &LayerResult{Layer: *l, M: m, N: n, K: k}
+	sc := &StageContext{
+		Config:      cfg,
+		ERT:         o.ert,
+		Layer:       l,
+		Dataflow:    cfg.Dataflow,
+		Rows:        cfg.ArrayRows,
+		Cols:        cfg.ArrayCols,
+		M:           m,
+		N:           n,
+		K:           k,
+		FilterRatio: 1,
+	}
+	for _, st := range o.stages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := st.Apply(ctx, sc, lr); err != nil {
+			return nil, fmt.Errorf("%s stage: %w", st.Name(), err)
+		}
+	}
+	return lr, nil
+}

@@ -7,24 +7,44 @@
 // Quickstart:
 //
 //	cfg := scalesim.DefaultConfig()
+//	cfg.Energy.Enabled = true
 //	topo, _ := scalesim.BuiltinTopology("resnet18")
-//	res, err := scalesim.New(cfg).Run(topo)
+//	res, err := scalesim.New(cfg).Run(context.Background(), topo)
+//	if err != nil { ... }
 //	fmt.Println(res.Summary())
+//	err = res.Reports().WriteAll("out") // COMPUTE_REPORT.csv, ...
+//
+// Run simulates the topology's layers on a bounded worker pool (layers are
+// independent); results are deterministic and identical at any parallelism.
+// Behavior is tuned with functional options:
+//
+//	res, err := sim.Run(ctx, topo,
+//		scalesim.WithParallelism(4),
+//		scalesim.WithProgress(func(p scalesim.LayerProgress) {
+//			log.Printf("%d/%d %s", p.Done, p.Total, p.Layer)
+//		}))
+//
+// To fan one topology across many configuration variants — array sizes,
+// dataflows, sparsity ratios, memory technologies — use the sweep engine:
+//
+//	pts := []scalesim.SweepPoint{
+//		{Name: "32x32", Config: cfg32, Topology: topo},
+//		{Name: "64x64", Config: cfg64, Topology: topo},
+//	}
+//	results, err := scalesim.Sweep(ctx, pts)
+//
+// The per-layer model passes (compute, layout, memory, energy) are
+// pluggable stages; WithStages replaces the pipeline, e.g. to insert a
+// custom DRAM backend or drop passes a caller does not need.
 package scalesim
 
 import (
-	"fmt"
-	"io"
+	"context"
 
 	"scalesim/internal/config"
-	"scalesim/internal/dram"
 	"scalesim/internal/energy"
-	"scalesim/internal/layout"
 	"scalesim/internal/multicore"
 	"scalesim/internal/report"
-	"scalesim/internal/sparse"
-	"scalesim/internal/sram"
-	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
 )
 
@@ -40,6 +60,9 @@ type (
 	Layer = topology.Layer
 	// Sparsity is an N:M structured-sparsity annotation.
 	Sparsity = topology.Sparsity
+	// ERT is an Accelergy-style energy reference table mapping component
+	// actions to per-action energies.
+	ERT = energy.ERT
 )
 
 // Dataflow constants.
@@ -58,6 +81,10 @@ func TPUConfig() Config { return config.TPUv2Like() }
 
 // LoadConfig parses a SCALE-Sim .cfg file.
 func LoadConfig(path string) (Config, error) { return config.LoadINI(path) }
+
+// DefaultERT returns the 65 nm energy reference table used when no
+// WithERT option is given.
+func DefaultERT() *ERT { return energy.Default65nm() }
 
 // BuiltinTopology returns a model from the built-in zoo ("alexnet",
 // "resnet18", "resnet50", "rcnn", "vit_small", "vit_base", "vit_large",
@@ -161,375 +188,32 @@ func (r *Result) EdP() float64 { return float64(r.TotalCycles()) * r.TotalEnergy
 
 // Simulator runs workloads under one configuration.
 type Simulator struct {
-	cfg Config
-	ert *energy.ERT
+	cfg  Config
+	opts options
 }
 
 // New builds a Simulator. The configuration is validated lazily at Run so
-// construction never fails.
-func New(cfg Config) *Simulator {
-	return &Simulator{cfg: cfg, ert: energy.Default65nm()}
+// construction never fails. Options given here are the defaults for every
+// Run/WriteTraces call; Run-level options override them per call.
+func New(cfg Config, opts ...Option) *Simulator {
+	s := &Simulator{cfg: cfg, opts: defaultOptions()}
+	for _, o := range opts {
+		o(&s.opts)
+	}
+	return s
 }
 
 // SetERT overrides the energy reference table (user-customized component
 // descriptions, as Accelergy permits).
-func (s *Simulator) SetERT(e *energy.ERT) { s.ert = e }
+//
+// Deprecated: pass WithERT to New or Run instead. SetERT must not be
+// called concurrently with Run.
+func (s *Simulator) SetERT(e *ERT) { s.opts.ert = e }
 
-// Run simulates every layer of the topology and returns per-layer results.
-func (s *Simulator) Run(topo *Topology) (*Result, error) {
-	if err := s.cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := topo.Validate(); err != nil {
-		return nil, err
-	}
-	res := &Result{Config: s.cfg}
-	for i := range topo.Layers {
-		lr, err := s.runLayer(&topo.Layers[i])
-		if err != nil {
-			return nil, fmt.Errorf("scalesim: layer %q: %w", topo.Layers[i].Name, err)
-		}
-		res.Layers = append(res.Layers, *lr)
-	}
-	return res, nil
-}
-
-func (s *Simulator) runLayer(l *topology.Layer) (*LayerResult, error) {
-	cfg := &s.cfg
-	m, n, k := l.GEMMDims()
-	lr := &LayerResult{Layer: *l, M: m, N: n, K: k}
-
-	r, c := cfg.ArrayRows, cfg.ArrayCols
-	df := cfg.Dataflow
-
-	// --- Compute model: dense, sparse or multi-core. ---
-	filterRatio := 1.0
-	var pat *sparse.Pattern
-	if cfg.Sparsity.Enabled && (!l.Sparsity.Dense() || cfg.Sparsity.OptimizedMapping) {
-		// The paper fixes the weight-stationary dataflow for sparse runs.
-		df = config.WeightStationary
-		est, p, err := sparse.EstimateLayer(r, c, l, &cfg.Sparsity)
-		if err != nil {
-			return nil, err
-		}
-		pat = p
-		lr.ComputeCycles = est.ComputeCycles
-		lr.Utilization = est.Utilization
-		lr.MappingEff = est.MappingEfficiency
-		filterRatio = p.Density()
-		sr, err := sparse.NewReport(l.Name, l.Sparsity.String(), p, cfg.Sparsity.Format, cfg.WordBytes*8)
-		if err != nil {
-			return nil, err
-		}
-		row := report.SparseRow{
-			LayerName:             sr.LayerName,
-			Representation:        cfg.Sparsity.Format.String(),
-			Ratio:                 sr.Ratio,
-			OriginalFilterWords:   sr.OriginalFilterWords,
-			CompressedFilterWords: sr.CompressedFilterWords,
-			MetadataWords:         sr.MetadataWords,
-		}
-		lr.Sparse = &row
-	} else if cfg.MultiCore.Enabled {
-		mp := systolic.MappingFor(df, m, n, k)
-		part, cycles, err := s.multiCoreCycles(mp)
-		if err != nil {
-			return nil, err
-		}
-		lr.ComputeCycles = cycles
-		lr.Partition = part
-		macs := int64(m) * int64(n) * int64(k)
-		pes := int64(0)
-		for _, cs := range cfg.CoreSpecs() {
-			pes += int64(cs.Rows) * int64(cs.Cols)
-		}
-		if cycles > 0 && pes > 0 {
-			lr.Utilization = float64(macs) / (float64(pes) * float64(cycles))
-		}
-		lr.MappingEff = lr.Utilization
-	} else {
-		est := systolic.Estimate(df, r, c, m, n, k)
-		lr.ComputeCycles = est.ComputeCycles
-		lr.Utilization = est.Utilization
-		lr.MappingEff = est.MappingEfficiency
-	}
-	lr.TotalCycles = lr.ComputeCycles
-
-	// --- Data layout model. ---
-	if cfg.Layout.Enabled {
-		slow, err := s.layoutSlowdown(df, r, c, m, n, k)
-		if err != nil {
-			return nil, err
-		}
-		lr.LayoutSlowdown = slow
-		if slow > 0 {
-			extra := int64(float64(lr.ComputeCycles) * slow)
-			lr.StallCycles += extra
-			lr.TotalCycles += extra
-		}
-	}
-
-	// --- Main memory integration. ---
-	reads, writes := systolic.MinDRAMTraffic(l)
-	lr.DRAMReadWords, lr.DRAMWriteWords = reads, writes
-	if cfg.Memory.Enabled {
-		if err := s.simulateMemory(lr, df, r, c, m, n, k, filterRatio); err != nil {
-			return nil, err
-		}
-	}
-
-	// --- Energy and power. ---
-	if cfg.Energy.Enabled {
-		if err := s.estimateEnergy(lr, df, r, c, m, n, k, pat); err != nil {
-			return nil, err
-		}
-	}
-	return lr, nil
-}
-
-// multiCoreCycles evaluates the configured (or searched) partition.
-func (s *Simulator) multiCoreCycles(mp systolic.Mapping) (*multicore.Partition, int64, error) {
-	mc := &s.cfg.MultiCore
-	r, c := s.cfg.ArrayRows, s.cfg.ArrayCols
-	if len(mc.Cores) > 0 {
-		// Heterogeneous cores: split the Sc dimension by throughput.
-		// The mapping is already applied, so pass (Sr, Sc, T) through
-		// the identity (output-stationary) assignment.
-		res, err := multicore.SimulateHetero(mc.Cores, systolic.Gemm{M: mp.Sr, N: mp.Sc, K: mp.T},
-			multicore.HeteroOptions{
-				Dataflow:   config.OutputStationary,
-				HopLatency: mc.HopLatency,
-				NonUniform: mc.NonUniform,
-			})
-		if err != nil {
-			return nil, 0, err
-		}
-		return nil, res.Cycles, nil
-	}
-	pr, pc := mc.PartitionRows, mc.PartitionCols
-	if pr > 0 && pc > 0 {
-		p := multicore.Partition{Pr: pr, Pc: pc, Strategy: mc.Strategy}
-		return &p, multicore.Runtime(p, r, c, mp), nil
-	}
-	cores := s.cfg.NumCores()
-	ch, err := multicore.Search(mc.Strategy, cores, r, c, mp, multicore.MinCycles)
-	if err != nil {
-		return nil, 0, err
-	}
-	return &ch.Partition, ch.Cycles, nil
-}
-
-// layoutSlowdown streams the layer's demand through the bank-conflict
-// analyzer for each operand SRAM and returns the aggregate slowdown.
-func (s *Simulator) layoutSlowdown(df config.Dataflow, r, c, m, n, k int) (float64, error) {
-	lc := layout.Config{
-		Banks:          s.cfg.Layout.Banks,
-		PortsPerBank:   s.cfg.Layout.PortsPerBank,
-		TotalBandwidth: s.cfg.Layout.OnChipBandwidth,
-	}
-	ifa, err := layout.NewAnalyzer(lc)
-	if err != nil {
-		return 0, err
-	}
-	fla, err := layout.NewAnalyzer(lc)
-	if err != nil {
-		return 0, err
-	}
-	ofa, err := layout.NewAnalyzer(lc)
-	if err != nil {
-		return 0, err
-	}
-	// Operands are stored in their stream-natural order (the layout a
-	// layout-aware mapper picks); the remaining slowdown is the bank
-	// contention the paper's Figs. 12/13 quantify.
-	ifmapT, filterT, ofmapT := layout.NaturalTransforms(df, m, n, k)
-	var ifBuf, flBuf, ofBuf []int64
-	err = systolic.Stream(df, r, c, systolic.Gemm{M: m, N: n, K: k}, func(d *systolic.Demand) bool {
-		ifBuf = layout.ApplyTransform(ifBuf[:0], d.IfmapReads, systolic.IfmapBase, ifmapT)
-		flBuf = layout.ApplyTransform(flBuf[:0], d.FilterReads, systolic.FilterBase, filterT)
-		ofBuf = layout.ApplyTransform(ofBuf[:0], d.OfmapWrites, systolic.OfmapBase, ofmapT)
-		ifa.Observe(ifBuf)
-		fla.Observe(flBuf)
-		ofa.Observe(ofBuf)
-		return true
-	})
-	if err != nil {
-		return 0, err
-	}
-	layoutCyc := ifa.LayoutCycles + fla.LayoutCycles + ofa.LayoutCycles
-	baseCyc := ifa.BaselineCycles + fla.BaselineCycles + ofa.BaselineCycles
-	if baseCyc == 0 {
-		return 0, nil
-	}
-	return float64(layoutCyc-baseCyc) / float64(baseCyc), nil
-}
-
-// simulateMemory runs the three-step Ramulator workflow for one layer.
-func (s *Simulator) simulateMemory(lr *LayerResult, df config.Dataflow, r, c, m, n, k int, filterRatio float64) error {
-	tech, err := dram.TechByName(s.cfg.Memory.Technology)
-	if err != nil {
-		return err
-	}
-	qd := s.cfg.Memory.ReadQueueDepth
-	if s.cfg.Memory.WriteQueueDepth < qd {
-		qd = s.cfg.Memory.WriteQueueDepth
-	}
-	sys, err := dram.New(tech, dram.Options{
-		Channels:   s.cfg.Memory.Channels,
-		QueueDepth: qd,
-	})
-	if err != nil {
-		return err
-	}
-	ifW, flW, ofW := s.cfg.SRAMWords()
-	sched, err := sram.BuildSchedule(df, r, c, systolic.Gemm{M: m, N: n, K: k}, sram.ScheduleOptions{
-		FilterRatio:     filterRatio,
-		IfmapSRAMWords:  ifW,
-		FilterSRAMWords: flW,
-		OfmapSRAMWords:  ofW,
-	})
-	if err != nil {
-		return err
-	}
-	maxReq := s.cfg.BandwidthWords * s.cfg.WordBytes / 64
-	if maxReq < 1 {
-		maxReq = 1
-	}
-	mres, err := sram.Simulate(sched, sys, sram.Options{
-		WordBytes:           s.cfg.WordBytes,
-		MaxRequestsPerCycle: maxReq,
-		StreamWindowWords:   ifW / 2,
-	})
-	if err != nil {
-		return err
-	}
-	// Memory stalls replace the closed-form total for this layer.
-	lr.StallCycles += mres.StallCycles
-	lr.TotalCycles = lr.ComputeCycles + lr.StallCycles
-	lr.DRAMReadWords = mres.ReadWords
-	lr.DRAMWriteWords = mres.WriteWords
-	lr.ThroughputMBps = mres.ThroughputMBps
-	lr.Memory = report.MemoryRow{
-		LayerName:      lr.Layer.Name,
-		Requests:       mres.ReadRequests + mres.WriteRequests,
-		RowHits:        mres.DRAM.RowHits,
-		RowMisses:      mres.DRAM.RowMisses,
-		RowConflicts:   mres.DRAM.RowConflicts,
-		AvgReadLatency: mres.DRAM.AvgReadLatency(),
-		QueueFullCyc:   mres.QueueFullCyc,
-		StallCycles:    mres.StallCycles,
-	}
-	return nil
-}
-
-// estimateEnergy applies the Accelergy-style flow to one layer.
-func (s *Simulator) estimateEnergy(lr *LayerResult, df config.Dataflow, r, c, m, n, k int, pat *sparse.Pattern) error {
-	acc := systolic.Access(df, r, c, m, n, k)
-	if pat != nil {
-		// Compressed filters shrink filter traffic proportionally.
-		d := pat.Density()
-		acc.Filter.Reads = int64(float64(acc.Filter.Reads) * d)
-	}
-	prof := &energy.RunProfile{
-		Dataflow:    df,
-		R:           r,
-		C:           c,
-		M:           m,
-		N:           n,
-		K:           k,
-		Cycles:      lr.TotalCycles,
-		Utilization: lr.Utilization,
-		Access:      acc,
-		DRAMReads:   lr.DRAMReadWords,
-		DRAMWrites:  lr.DRAMWriteWords,
-	}
-	counts := energy.CountActions(prof, &s.cfg.Energy)
-	pes := int64(r) * int64(c)
-	if s.cfg.MultiCore.Enabled {
-		pes = 0
-		for _, cs := range s.cfg.CoreSpecs() {
-			pes += int64(cs.Rows) * int64(cs.Cols)
-		}
-	}
-	est := energy.Estimator{
-		ERT:          s.ert,
-		PEs:          pes,
-		SRAMKB:       int64(s.cfg.IfmapSRAMKB + s.cfg.FilterSRAMKB + s.cfg.OfmapSRAMKB),
-		FrequencyMHz: s.cfg.Energy.FrequencyMHz,
-	}
-	rep, err := est.Estimate(counts, lr.TotalCycles)
-	if err != nil {
-		return err
-	}
-	lr.Energy = rep
-	return nil
-}
-
-// WriteReports emits the standard CSV reports for a result to the writers
-// that are non-nil.
-func WriteReports(res *Result, compute, bandwidth, memory, sparseW, energyW io.Writer) error {
-	var crows []report.ComputeRow
-	var brows []report.BandwidthRow
-	var mrows []report.MemoryRow
-	var srows []report.SparseRow
-	var erows []report.EnergyRow
-	for i := range res.Layers {
-		l := &res.Layers[i]
-		crows = append(crows, report.ComputeRow{
-			LayerName: l.Layer.Name, Dataflow: res.Config.Dataflow.String(),
-			M: l.M, N: l.N, K: l.K,
-			ComputeCycles: l.ComputeCycles, StallCycles: l.StallCycles,
-			TotalCycles: l.TotalCycles, Utilization: l.Utilization,
-			MappingEfficiency: l.MappingEff,
-		})
-		var rbw, wbw float64
-		if l.TotalCycles > 0 {
-			rbw = float64(l.DRAMReadWords) / float64(l.TotalCycles)
-			wbw = float64(l.DRAMWriteWords) / float64(l.TotalCycles)
-		}
-		brows = append(brows, report.BandwidthRow{
-			LayerName: l.Layer.Name, DRAMReadWords: l.DRAMReadWords,
-			DRAMWriteWords: l.DRAMWriteWords, AvgReadBWWords: rbw,
-			AvgWriteBW: wbw, ThroughputMBps: l.ThroughputMBps,
-		})
-		mrows = append(mrows, l.Memory)
-		if l.Sparse != nil {
-			srows = append(srows, *l.Sparse)
-		}
-		if l.Energy != nil {
-			erows = append(erows, report.EnergyRow{
-				LayerName:  l.Layer.Name,
-				TotalMJ:    l.Energy.TotalMJ(),
-				LeakageMJ:  l.Energy.LeakagePJ * 1e-9,
-				AvgPowerMW: l.Energy.AvgPowerMW(),
-				EdP:        l.Energy.EdP(),
-			})
-		}
-	}
-	if compute != nil {
-		if err := report.WriteCompute(compute, crows); err != nil {
-			return err
-		}
-	}
-	if bandwidth != nil {
-		if err := report.WriteBandwidth(bandwidth, brows); err != nil {
-			return err
-		}
-	}
-	if memory != nil {
-		if err := report.WriteMemory(memory, mrows); err != nil {
-			return err
-		}
-	}
-	if sparseW != nil && len(srows) > 0 {
-		if err := report.WriteSparse(sparseW, srows); err != nil {
-			return err
-		}
-	}
-	if energyW != nil && len(erows) > 0 {
-		if err := report.WriteEnergy(energyW, erows); err != nil {
-			return err
-		}
-	}
-	return nil
+// RunTopology simulates every layer of the topology sequentially with the
+// background context — the behavior of the pre-context Run(topo) API.
+//
+// Deprecated: use Run, which takes a context and options.
+func (s *Simulator) RunTopology(topo *Topology) (*Result, error) {
+	return s.Run(context.Background(), topo, WithParallelism(1))
 }

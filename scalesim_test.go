@@ -2,6 +2,7 @@ package scalesim
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestRunDenseDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := New(cfg).Run(topo)
+	res, err := New(cfg).Run(context.Background(), topo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestRunWithEnergy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := New(cfg).Run(topo)
+	res, err := New(cfg).Run(context.Background(), topo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,12 +59,12 @@ func TestRunSparse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dense, err := New(cfg).Run(topo)
+	dense, err := New(cfg).Run(context.Background(), topo)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sp := topo.WithSparsity(Sparsity{N: 1, M: 4})
-	spRes, err := New(cfg).Run(sp)
+	spRes, err := New(cfg).Run(context.Background(), sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestRunWithMemoryModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	topo = topo.Sub(2, 4) // two mid-size layers keep the test fast
-	res, err := New(cfg).Run(topo)
+	res, err := New(cfg).Run(context.Background(), topo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +121,11 @@ func TestRunMultiCore(t *testing.T) {
 		t.Fatal(err)
 	}
 	single := DefaultConfig()
-	sres, err := New(single).Run(topo)
+	sres, err := New(single).Run(context.Background(), topo)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mres, err := New(cfg).Run(topo)
+	mres, err := New(cfg).Run(context.Background(), topo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestRunLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 	topo = topo.Sub(2, 3)
-	res, err := New(cfg).Run(topo)
+	res, err := New(cfg).Run(context.Background(), topo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestWriteReports(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := New(cfg).Run(topo)
+	res, err := New(cfg).Run(context.Background(), topo)
 	if err != nil {
 		t.Fatal(err)
 	}

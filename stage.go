@@ -1,0 +1,355 @@
+package scalesim
+
+import (
+	"context"
+
+	"scalesim/internal/config"
+	"scalesim/internal/dram"
+	"scalesim/internal/energy"
+	"scalesim/internal/layout"
+	"scalesim/internal/multicore"
+	"scalesim/internal/report"
+	"scalesim/internal/sparse"
+	"scalesim/internal/sram"
+	"scalesim/internal/systolic"
+)
+
+// StageContext carries the per-layer state shared by the pipeline stages.
+// Earlier stages communicate with later ones through it: the compute stage
+// fixes the effective Dataflow (sparse runs force weight-stationary) and
+// the filter density the memory and energy stages consume.
+type StageContext struct {
+	// Config is the run configuration (read-only; shared across layers).
+	Config *Config
+	// ERT is the energy reference table (read-only; shared across layers).
+	ERT *ERT
+	// Layer is the layer being simulated.
+	Layer *Layer
+	// Dataflow is the effective dataflow for this layer. It starts as
+	// Config.Dataflow; the compute stage may override it.
+	Dataflow Dataflow
+	// Rows, Cols are the systolic array dimensions.
+	Rows, Cols int
+	// M, N, K are the layer's GEMM dimensions after lowering.
+	M, N, K int
+	// FilterRatio is the filter density in (0, 1]; 1 for dense layers.
+	// Set by the compute stage.
+	FilterRatio float64
+
+	// pattern is the sparse compression pattern, nil for dense layers.
+	pattern *sparse.Pattern
+}
+
+// Stage is one pass of the per-layer model pipeline. Built-in stages cover
+// compute, data layout, main memory and energy; custom stages can extend
+// or replace them via WithStages. A stage sees the LayerResult as left by
+// the stages before it and must be safe for concurrent use across layers.
+type Stage interface {
+	// Name identifies the stage in error messages.
+	Name() string
+	// Apply runs the pass for one layer, mutating lr (and, for
+	// cross-stage state, sc).
+	Apply(ctx context.Context, sc *StageContext, lr *LayerResult) error
+}
+
+// DefaultStages returns the standard pipeline: compute, layout slowdown,
+// main memory, energy — each a no-op unless enabled in the configuration
+// (compute always runs).
+func DefaultStages() []Stage {
+	return []Stage{ComputeStage(), LayoutStage(), MemoryStage(), EnergyStage()}
+}
+
+// ComputeStage returns the systolic compute pass: dense, sparse or
+// multi-core cycle estimation. It always runs and must come first — it
+// seeds ComputeCycles, Utilization and the effective dataflow.
+func ComputeStage() Stage { return computeStage{} }
+
+// LayoutStage returns the on-chip data-layout (bank conflict) pass. No-op
+// unless Config.Layout.Enabled.
+func LayoutStage() Stage { return layoutStage{} }
+
+// MemoryStage returns the main-memory pass. It records the layer's minimum
+// DRAM traffic and, when Config.Memory.Enabled, runs the cycle-accurate
+// Ramulator-style simulation that turns it into stall cycles.
+func MemoryStage() Stage { return memoryStage{} }
+
+// EnergyStage returns the Accelergy-style energy/power pass. No-op unless
+// Config.Energy.Enabled.
+func EnergyStage() Stage { return energyStage{} }
+
+type computeStage struct{}
+
+func (computeStage) Name() string { return "compute" }
+
+func (computeStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) error {
+	cfg := sc.Config
+	l := sc.Layer
+	r, c := sc.Rows, sc.Cols
+	m, n, k := sc.M, sc.N, sc.K
+
+	switch {
+	case cfg.Sparsity.Enabled && (!l.Sparsity.Dense() || cfg.Sparsity.OptimizedMapping):
+		// The paper fixes the weight-stationary dataflow for sparse runs.
+		sc.Dataflow = config.WeightStationary
+		est, p, err := sparse.EstimateLayer(r, c, l, &cfg.Sparsity)
+		if err != nil {
+			return err
+		}
+		sc.pattern = p
+		sc.FilterRatio = p.Density()
+		lr.ComputeCycles = est.ComputeCycles
+		lr.Utilization = est.Utilization
+		lr.MappingEff = est.MappingEfficiency
+		sr, err := sparse.NewReport(l.Name, l.Sparsity.String(), p, cfg.Sparsity.Format, cfg.WordBytes*8)
+		if err != nil {
+			return err
+		}
+		row := report.SparseRow{
+			LayerName:             sr.LayerName,
+			Representation:        cfg.Sparsity.Format.String(),
+			Ratio:                 sr.Ratio,
+			OriginalFilterWords:   sr.OriginalFilterWords,
+			CompressedFilterWords: sr.CompressedFilterWords,
+			MetadataWords:         sr.MetadataWords,
+		}
+		lr.Sparse = &row
+	case cfg.MultiCore.Enabled:
+		mp := systolic.MappingFor(sc.Dataflow, m, n, k)
+		part, cycles, err := multiCoreCycles(cfg, mp)
+		if err != nil {
+			return err
+		}
+		lr.ComputeCycles = cycles
+		lr.Partition = part
+		macs := int64(m) * int64(n) * int64(k)
+		pes := int64(0)
+		for _, cs := range cfg.CoreSpecs() {
+			pes += int64(cs.Rows) * int64(cs.Cols)
+		}
+		if cycles > 0 && pes > 0 {
+			lr.Utilization = float64(macs) / (float64(pes) * float64(cycles))
+		}
+		lr.MappingEff = lr.Utilization
+	default:
+		est := systolic.Estimate(sc.Dataflow, r, c, m, n, k)
+		lr.ComputeCycles = est.ComputeCycles
+		lr.Utilization = est.Utilization
+		lr.MappingEff = est.MappingEfficiency
+	}
+	lr.TotalCycles = lr.ComputeCycles
+	return nil
+}
+
+// multiCoreCycles evaluates the configured (or searched) partition.
+func multiCoreCycles(cfg *Config, mp systolic.Mapping) (*multicore.Partition, int64, error) {
+	mc := &cfg.MultiCore
+	r, c := cfg.ArrayRows, cfg.ArrayCols
+	if len(mc.Cores) > 0 {
+		// Heterogeneous cores: split the Sc dimension by throughput.
+		// The mapping is already applied, so pass (Sr, Sc, T) through
+		// the identity (output-stationary) assignment.
+		res, err := multicore.SimulateHetero(mc.Cores, systolic.Gemm{M: mp.Sr, N: mp.Sc, K: mp.T},
+			multicore.HeteroOptions{
+				Dataflow:   config.OutputStationary,
+				HopLatency: mc.HopLatency,
+				NonUniform: mc.NonUniform,
+			})
+		if err != nil {
+			return nil, 0, err
+		}
+		return nil, res.Cycles, nil
+	}
+	pr, pc := mc.PartitionRows, mc.PartitionCols
+	if pr > 0 && pc > 0 {
+		p := multicore.Partition{Pr: pr, Pc: pc, Strategy: mc.Strategy}
+		return &p, multicore.Runtime(p, r, c, mp), nil
+	}
+	cores := cfg.NumCores()
+	ch, err := multicore.Search(mc.Strategy, cores, r, c, mp, multicore.MinCycles)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &ch.Partition, ch.Cycles, nil
+}
+
+type layoutStage struct{}
+
+func (layoutStage) Name() string { return "layout" }
+
+// Apply streams the layer's demand through the bank-conflict analyzer for
+// each operand SRAM and converts the aggregate slowdown into stall cycles.
+func (layoutStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) error {
+	cfg := sc.Config
+	if !cfg.Layout.Enabled {
+		return nil
+	}
+	lc := layout.Config{
+		Banks:          cfg.Layout.Banks,
+		PortsPerBank:   cfg.Layout.PortsPerBank,
+		TotalBandwidth: cfg.Layout.OnChipBandwidth,
+	}
+	ifa, err := layout.NewAnalyzer(lc)
+	if err != nil {
+		return err
+	}
+	fla, err := layout.NewAnalyzer(lc)
+	if err != nil {
+		return err
+	}
+	ofa, err := layout.NewAnalyzer(lc)
+	if err != nil {
+		return err
+	}
+	// Operands are stored in their stream-natural order (the layout a
+	// layout-aware mapper picks); the remaining slowdown is the bank
+	// contention the paper's Figs. 12/13 quantify.
+	df, m, n, k := sc.Dataflow, sc.M, sc.N, sc.K
+	ifmapT, filterT, ofmapT := layout.NaturalTransforms(df, m, n, k)
+	var ifBuf, flBuf, ofBuf []int64
+	err = systolic.Stream(df, sc.Rows, sc.Cols, systolic.Gemm{M: m, N: n, K: k}, func(d *systolic.Demand) bool {
+		ifBuf = layout.ApplyTransform(ifBuf[:0], d.IfmapReads, systolic.IfmapBase, ifmapT)
+		flBuf = layout.ApplyTransform(flBuf[:0], d.FilterReads, systolic.FilterBase, filterT)
+		ofBuf = layout.ApplyTransform(ofBuf[:0], d.OfmapWrites, systolic.OfmapBase, ofmapT)
+		ifa.Observe(ifBuf)
+		fla.Observe(flBuf)
+		ofa.Observe(ofBuf)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	layoutCyc := ifa.LayoutCycles + fla.LayoutCycles + ofa.LayoutCycles
+	baseCyc := ifa.BaselineCycles + fla.BaselineCycles + ofa.BaselineCycles
+	if baseCyc == 0 {
+		return nil
+	}
+	slow := float64(layoutCyc-baseCyc) / float64(baseCyc)
+	lr.LayoutSlowdown = slow
+	if slow > 0 {
+		extra := int64(float64(lr.ComputeCycles) * slow)
+		lr.StallCycles += extra
+		lr.TotalCycles += extra
+	}
+	return nil
+}
+
+type memoryStage struct{}
+
+func (memoryStage) Name() string { return "memory" }
+
+// Apply records the layer's minimum DRAM traffic and, when the memory
+// model is enabled, runs the three-step Ramulator workflow for the layer.
+func (memoryStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) error {
+	cfg := sc.Config
+	lr.DRAMReadWords, lr.DRAMWriteWords = systolic.MinDRAMTraffic(sc.Layer)
+	if !cfg.Memory.Enabled {
+		return nil
+	}
+	tech, err := dram.TechByName(cfg.Memory.Technology)
+	if err != nil {
+		return err
+	}
+	qd := cfg.Memory.ReadQueueDepth
+	if cfg.Memory.WriteQueueDepth < qd {
+		qd = cfg.Memory.WriteQueueDepth
+	}
+	sys, err := dram.New(tech, dram.Options{
+		Channels:   cfg.Memory.Channels,
+		QueueDepth: qd,
+	})
+	if err != nil {
+		return err
+	}
+	df, m, n, k := sc.Dataflow, sc.M, sc.N, sc.K
+	ifW, flW, ofW := cfg.SRAMWords()
+	sched, err := sram.BuildSchedule(df, sc.Rows, sc.Cols, systolic.Gemm{M: m, N: n, K: k}, sram.ScheduleOptions{
+		FilterRatio:     sc.FilterRatio,
+		IfmapSRAMWords:  ifW,
+		FilterSRAMWords: flW,
+		OfmapSRAMWords:  ofW,
+	})
+	if err != nil {
+		return err
+	}
+	maxReq := cfg.BandwidthWords * cfg.WordBytes / 64
+	if maxReq < 1 {
+		maxReq = 1
+	}
+	mres, err := sram.Simulate(sched, sys, sram.Options{
+		WordBytes:           cfg.WordBytes,
+		MaxRequestsPerCycle: maxReq,
+		StreamWindowWords:   ifW / 2,
+	})
+	if err != nil {
+		return err
+	}
+	// Memory stalls replace the closed-form total for this layer.
+	lr.StallCycles += mres.StallCycles
+	lr.TotalCycles = lr.ComputeCycles + lr.StallCycles
+	lr.DRAMReadWords = mres.ReadWords
+	lr.DRAMWriteWords = mres.WriteWords
+	lr.ThroughputMBps = mres.ThroughputMBps
+	lr.Memory = report.MemoryRow{
+		LayerName:      lr.Layer.Name,
+		Requests:       mres.ReadRequests + mres.WriteRequests,
+		RowHits:        mres.DRAM.RowHits,
+		RowMisses:      mres.DRAM.RowMisses,
+		RowConflicts:   mres.DRAM.RowConflicts,
+		AvgReadLatency: mres.DRAM.AvgReadLatency(),
+		QueueFullCyc:   mres.QueueFullCyc,
+		StallCycles:    mres.StallCycles,
+	}
+	return nil
+}
+
+type energyStage struct{}
+
+func (energyStage) Name() string { return "energy" }
+
+// Apply runs the Accelergy-style flow for one layer.
+func (energyStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) error {
+	cfg := sc.Config
+	if !cfg.Energy.Enabled {
+		return nil
+	}
+	df, r, c, m, n, k := sc.Dataflow, sc.Rows, sc.Cols, sc.M, sc.N, sc.K
+	acc := systolic.Access(df, r, c, m, n, k)
+	if sc.pattern != nil {
+		// Compressed filters shrink filter traffic proportionally.
+		d := sc.pattern.Density()
+		acc.Filter.Reads = int64(float64(acc.Filter.Reads) * d)
+	}
+	prof := &energy.RunProfile{
+		Dataflow:    df,
+		R:           r,
+		C:           c,
+		M:           m,
+		N:           n,
+		K:           k,
+		Cycles:      lr.TotalCycles,
+		Utilization: lr.Utilization,
+		Access:      acc,
+		DRAMReads:   lr.DRAMReadWords,
+		DRAMWrites:  lr.DRAMWriteWords,
+	}
+	counts := energy.CountActions(prof, &cfg.Energy)
+	pes := int64(r) * int64(c)
+	if cfg.MultiCore.Enabled {
+		pes = 0
+		for _, cs := range cfg.CoreSpecs() {
+			pes += int64(cs.Rows) * int64(cs.Cols)
+		}
+	}
+	est := energy.Estimator{
+		ERT:          sc.ERT,
+		PEs:          pes,
+		SRAMKB:       int64(cfg.IfmapSRAMKB + cfg.FilterSRAMKB + cfg.OfmapSRAMKB),
+		FrequencyMHz: cfg.Energy.FrequencyMHz,
+	}
+	rep, err := est.Estimate(counts, lr.TotalCycles)
+	if err != nil {
+		return err
+	}
+	lr.Energy = rep
+	return nil
+}

@@ -1,0 +1,92 @@
+package scalesim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// SweepPoint is one configuration variant of a parameter sweep. Points may
+// share a *Topology — runs never mutate it.
+type SweepPoint struct {
+	// Name labels the point in results and progress callbacks.
+	Name string
+	// Config is the full simulator configuration for this point.
+	Config Config
+	// Topology is the workload to simulate under Config.
+	Topology *Topology
+}
+
+// SweepResult pairs a sweep point with its outcome. Exactly one of Result
+// and Err is non-nil.
+type SweepResult struct {
+	Point  SweepPoint
+	Result *Result
+	Err    error
+}
+
+// Sweep fans workloads across configuration variants — array sizes,
+// dataflows, sparsity ratios, memory technologies — on a bounded worker
+// pool and returns one SweepResult per point, in input order.
+//
+// Points run concurrently (pool width GOMAXPROCS, or WithParallelism);
+// each point's layers run sequentially so the pool is the only source of
+// concurrency. Unlike Run, a failing point does not cancel its siblings:
+// its error lands in SweepResult.Err and the sweep continues. Sweep itself
+// returns an error only when ctx is cancelled.
+func Sweep(ctx context.Context, points []SweepPoint, opts ...Option) ([]SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	n := len(points)
+	out := make([]SweepResult, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	workers := o.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var mu sync.Mutex // serializes progress callbacks across points
+	forEachIndex(ctx, n, workers, func(i int) {
+		p := &points[i]
+		out[i].Point = *p
+		out[i].Result, out[i].Err = runSweepPoint(ctx, &o, &mu, p)
+	})
+	// Points never dispatched because ctx was cancelled still owe the
+	// caller the one-of-Result-and-Err contract.
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if out[i].Result == nil && out[i].Err == nil {
+				out[i].Point = points[i]
+				out[i].Err = err
+			}
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// runSweepPoint runs one point sequentially, forwarding progress callbacks
+// tagged with the point name.
+func runSweepPoint(ctx context.Context, o *options, mu *sync.Mutex, p *SweepPoint) (*Result, error) {
+	runOpts := []Option{WithParallelism(1), WithERT(o.ert), WithStages(o.stages...)}
+	if o.progress != nil {
+		name, fn := p.Name, o.progress
+		runOpts = append(runOpts, WithProgress(func(lp LayerProgress) {
+			lp.Point = name
+			mu.Lock()
+			fn(lp)
+			mu.Unlock()
+		}))
+	}
+	return New(p.Config).Run(ctx, p.Topology, runOpts...)
+}
