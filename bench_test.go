@@ -277,6 +277,105 @@ func BenchmarkRunParallelism(b *testing.B) {
 	}
 }
 
+// dramSweepPoints builds the cache benchmark scenario: a DRAM-only sweep
+// (only Memory.Channels varies) over a ResNet-style repeated-shape
+// topology. Without a cache every point simulates every layer; with one,
+// each point simulates each distinct shape once and the repeated blocks
+// are served from cache.
+func dramSweepPoints() []scalesim.SweepPoint {
+	topo := &scalesim.Topology{Name: "blocks"}
+	for i := 0; i < 6; i++ {
+		topo.Layers = append(topo.Layers, scalesim.Layer{
+			Name: fmt.Sprintf("block%d", i), Kind: scalesim.Conv,
+			IfmapH: 14, IfmapW: 14, FilterH: 3, FilterW: 3,
+			Channels: 32, NumFilters: 32, Stride: 1,
+		})
+	}
+	var points []scalesim.SweepPoint
+	for _, ch := range []int{1, 2, 4} {
+		cfg := scalesim.DefaultConfig()
+		cfg.Memory.Enabled = true
+		cfg.Memory.Channels = ch
+		points = append(points, scalesim.SweepPoint{
+			Name: fmt.Sprintf("%dch", ch), Config: cfg, Topology: topo,
+		})
+	}
+	return points
+}
+
+// BenchmarkSweepUncached is the baseline for BenchmarkSweepCached: the
+// same DRAM-channel sweep with no cache attached.
+func BenchmarkSweepUncached(b *testing.B) {
+	points := dramSweepPoints()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scalesim.Sweep(ctx, points, scalesim.WithParallelism(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCached runs the DRAM-channel sweep with a cold cache per
+// iteration, so the measured win is purely within-sweep reuse: each point
+// simulates the repeated conv shape once instead of six times.
+func BenchmarkSweepCached(b *testing.B) {
+	points := dramSweepPoints()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := scalesim.NewCache(0, 0)
+		if _, err := scalesim.Sweep(ctx, points, scalesim.WithParallelism(1),
+			scalesim.WithCache(cache)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCachedWarm reuses one cache across iterations — the
+// steady state of an interactive design-space exploration, where every
+// layer of every point is a hit.
+func BenchmarkSweepCachedWarm(b *testing.B) {
+	points := dramSweepPoints()
+	ctx := context.Background()
+	cache := scalesim.NewCache(0, 0)
+	if _, err := scalesim.Sweep(ctx, points, scalesim.WithCache(cache)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scalesim.Sweep(ctx, points, scalesim.WithParallelism(1),
+			scalesim.WithCache(cache)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunRepeatedShapes measures Run itself on the repeated-shape
+// topology, cached vs not — the ResNet-block effect in isolation.
+func BenchmarkRunRepeatedShapes(b *testing.B) {
+	topo := dramSweepPoints()[0].Topology
+	cfg := scalesim.DefaultConfig()
+	cfg.Memory.Enabled = true
+	ctx := context.Background()
+	b.Run("uncached", func(b *testing.B) {
+		sim := scalesim.New(cfg)
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(ctx, topo, scalesim.WithParallelism(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := scalesim.New(cfg, scalesim.WithCache(scalesim.NewCache(0, 0)))
+			if _, err := sim.Run(ctx, topo, scalesim.WithParallelism(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSweep measures the sweep engine fanning one workload across
 // array-size variants.
 func BenchmarkSweep(b *testing.B) {

@@ -1,0 +1,240 @@
+package scalesim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"scalesim/internal/energy"
+	"scalesim/internal/simcache"
+)
+
+// CacheStats is a point-in-time snapshot of a Cache: hit/miss/eviction
+// counters since construction (or Purge) and current occupancy.
+type CacheStats = simcache.Stats
+
+// Cache is a content-addressed, bounded LRU cache of layer simulation
+// results, shared across Run, Sweep and WriteTraces calls.
+//
+// Every (configuration, stage pipeline, layer shape) triple is
+// fingerprinted; when two layers agree on all three — whether within one
+// topology (ResNet-style repeated blocks), across runs, or across sweep
+// points — the second simulation is skipped and a deep copy of the cached
+// LayerResult is returned. Layer names are deliberately excluded from the
+// fingerprint (they label reports, they do not change the simulation), so
+// repeated-shape topologies simulate each distinct shape once.
+//
+// Beyond whole layers, the cache also memoizes sub-results whose inputs
+// are a subset of the configuration: the data-layout (bank conflict)
+// analysis, which depends only on the layout section and the layer shape,
+// and trace blobs emitted by WriteTraces. A sweep that varies only DRAM or
+// energy knobs therefore still reuses the expensive systolic demand
+// analysis of unchanged layers even though the whole-layer fingerprints
+// differ.
+//
+// A Cache is safe for concurrent use: one cache may back many simultaneous
+// Run and Sweep calls. Cached values are deep-copied on insertion and on
+// every hit, so callers may freely mutate results.
+type Cache struct {
+	c *simcache.Cache
+}
+
+// NewCache returns an empty cache bounded to at most maxEntries cached
+// results and approximately maxBytes of accounted result memory.
+// Non-positive limits select the defaults (4096 entries, 256 MiB).
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{c: simcache.New(maxEntries, maxBytes)}
+}
+
+// Stats snapshots the cache's cumulative counters and current occupancy.
+func (c *Cache) Stats() CacheStats { return c.c.Stats() }
+
+// Purge empties the cache and resets its statistics.
+func (c *Cache) Purge() { c.c.Purge() }
+
+var (
+	sharedCacheOnce sync.Once
+	sharedCache     *Cache
+)
+
+// SharedCache returns the process-wide cache used by WithSharedCache,
+// created with default bounds on first use. Independent subsystems that
+// simulate overlapping configurations share hits through it.
+func SharedCache() *Cache {
+	sharedCacheOnce.Do(func() { sharedCache = NewCache(0, 0) })
+	return sharedCache
+}
+
+// RunCacheStats reports the layer cache's effectiveness for one Run: how
+// many layers were served from the cache and how many were simulated.
+// Sub-result hits (layout analysis, trace blobs) are not counted here;
+// they appear in Cache.Stats.
+type RunCacheStats struct {
+	// Hits is the number of layers served from the cache.
+	Hits int64
+	// Misses is the number of layers simulated (and then cached).
+	Misses int64
+}
+
+// layerCache is the per-run caching handle: the shared cache plus the
+// fingerprint of everything that is constant across the run's layers
+// (configuration, energy table, stage pipeline) and per-run hit counters.
+// Single-flight coalescing lives in the shared cache itself, so identical
+// shapes are computed once even across concurrent runs and sweep points.
+type layerCache struct {
+	cache        *simcache.Cache
+	base         simcache.Key
+	hits, misses atomic.Int64
+	// memRow records whether this run's pipeline fills LayerResult.Memory
+	// (memory stage present and model enabled). Cached memory rows are
+	// relabeled with the hitting layer's name based on this, not on the
+	// cached row's own name, which is empty when the populating layer was
+	// anonymous.
+	memRow bool
+}
+
+// newLayerCache builds the per-run handle, or returns nil when caching is
+// off or the stage pipeline contains a stage without a CacheFingerprint
+// (an unknown stage could depend on anything, so whole-layer reuse would
+// be unsound).
+func newLayerCache(c *Cache, cfg *Config, o *options) *layerCache {
+	if c == nil {
+		return nil
+	}
+	h := simcache.NewHasher()
+	h.String("scalesim/layer/v1")
+	h.Value(fingerprintConfig(cfg))
+	h.Value(o.ert)
+	memRow := false
+	for _, st := range o.stages {
+		f, ok := st.(StageFingerprinter)
+		if !ok {
+			return nil
+		}
+		h.String(f.CacheFingerprint())
+		if _, ok := st.(memoryStage); ok && cfg.Memory.Enabled {
+			memRow = true
+		}
+	}
+	return &layerCache{cache: c.c, base: h.Sum(), memRow: memRow}
+}
+
+// fingerprintConfig returns the configuration as hashed into cache keys:
+// everything except RunName, which labels reports and trace files but
+// never changes simulation results. Every other field — array shape, SRAM
+// sizes, dataflow, bandwidth, word size and the sparsity, memory, layout,
+// energy and multi-core sections — is fingerprinted, so sweep points that
+// differ in any of them can never share an entry.
+func fingerprintConfig(cfg *Config) Config {
+	cc := *cfg
+	cc.RunName = ""
+	return cc
+}
+
+// key fingerprints one layer on top of the run-constant base. The name is
+// excluded: two layers differing only in name are the same simulation.
+func (lc *layerCache) key(l *Layer) simcache.Key {
+	h := simcache.NewHasher()
+	h.Bytes(lc.base[:])
+	ll := *l
+	ll.Name = ""
+	h.Value(ll)
+	return h.Sum()
+}
+
+// lookup returns a hit (deep-copied and relabeled for l), a context error
+// (the caller was cancelled while coalesced behind another computer), or
+// (nil, nil) after registering the caller as the key's single-flight
+// computer via Cache.Acquire. Concurrent same-shape layers — in this run
+// or any other run sharing the cache — coalesce: whoever registers first
+// simulates while the others block and then take the hit, so within a run
+// hit/miss counts are deterministic at any parallelism and a shape is
+// never simulated twice. A caller that receives (nil, nil) MUST call
+// done(key) when finished (whether or not it stored a result).
+func (lc *layerCache) lookup(ctx context.Context, key simcache.Key, l *Layer) (*LayerResult, error) {
+	v, ok, err := lc.cache.Acquire(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		lc.misses.Add(1)
+		return nil, nil
+	}
+	lc.hits.Add(1)
+	lr := cloneLayerResult(v.(*LayerResult))
+	// The cached entry carries the name of whichever layer produced it;
+	// restore this layer's identity everywhere a name is recorded. The
+	// memory row is relabeled whenever the memory model ran — its cached
+	// name alone cannot distinguish "model off" from "populating layer
+	// was anonymous".
+	lr.Layer = *l
+	if lr.Sparse != nil {
+		lr.Sparse.LayerName = l.Name
+	}
+	if lc.memRow || lr.Memory.LayerName != "" {
+		// The second clause covers custom fingerprinted stages that fill
+		// the memory row themselves.
+		lr.Memory.LayerName = l.Name
+	}
+	return lr, nil
+}
+
+// put stores a deep copy of lr so later caller mutations cannot corrupt
+// the cache.
+func (lc *layerCache) put(key simcache.Key, lr *LayerResult) {
+	lc.cache.Put(key, cloneLayerResult(lr), layerResultSize(lr))
+}
+
+// done releases the single-flight slot taken by a nil lookup, waking any
+// workers coalesced behind it.
+func (lc *layerCache) done(key simcache.Key) {
+	lc.cache.Release(key)
+}
+
+// stats returns this run's hit/miss counters.
+func (lc *layerCache) stats() RunCacheStats {
+	return RunCacheStats{Hits: lc.hits.Load(), Misses: lc.misses.Load()}
+}
+
+// cloneLayerResult deep-copies a layer result, including the pointered
+// sparse row, energy report (with its component map) and partition.
+func cloneLayerResult(lr *LayerResult) *LayerResult {
+	out := *lr
+	if lr.Sparse != nil {
+		s := *lr.Sparse
+		out.Sparse = &s
+	}
+	if lr.Partition != nil {
+		p := *lr.Partition
+		out.Partition = &p
+	}
+	if lr.Energy != nil {
+		e := *lr.Energy
+		if lr.Energy.PerComponent != nil {
+			e.PerComponent = make(map[energy.Component]float64, len(lr.Energy.PerComponent))
+			for c, pj := range lr.Energy.PerComponent {
+				e.PerComponent[c] = pj
+			}
+		}
+		out.Energy = &e
+	}
+	return &out
+}
+
+// layerResultSize estimates the retained bytes of a cached result for the
+// cache's byte accounting. It need not be exact — only proportional enough
+// that the byte bound means something.
+func layerResultSize(lr *LayerResult) int64 {
+	size := int64(512) // flat struct, headers, map overhead
+	size += int64(len(lr.Layer.Name) + len(lr.Memory.LayerName))
+	if lr.Sparse != nil {
+		size += 128 + int64(len(lr.Sparse.LayerName)+len(lr.Sparse.Representation)+len(lr.Sparse.Ratio))
+	}
+	if lr.Partition != nil {
+		size += 32
+	}
+	if lr.Energy != nil {
+		size += 128 + 48*int64(len(lr.Energy.PerComponent))
+	}
+	return size
+}

@@ -1,0 +1,446 @@
+// Package simcache is the cross-run simulation cache shared by Run, Sweep
+// and WriteTraces: a content-addressed, bounded LRU mapping fingerprints of
+// simulation inputs to their results.
+//
+// The package has two halves:
+//
+//   - Hasher derives content-addressed keys. Its Value method encodes any
+//     acyclic Go value (structs, maps, slices, pointers, primitives)
+//     deterministically — struct fields in declaration order, map entries
+//     in sorted key order — so that equal inputs always produce equal
+//     keys, independent of map iteration order or process.
+//   - Cache is a thread-safe LRU bounded by both entry count and total
+//     byte size, with hit/miss/eviction statistics.
+//
+// The cache stores opaque values; callers own deep-copy discipline (a
+// cached value must never be mutated after Put, and values returned by Get
+// must be copied before mutation). The scalesim package wraps this with
+// the copy-in/copy-out layer for LayerResult.
+package simcache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Key is a content-addressed cache key: a SHA-256 digest of the
+// fingerprinted simulation inputs.
+type Key [sha256.Size]byte
+
+// Hasher accumulates simulation inputs into a Key. The zero value is not
+// usable; call NewHasher.
+type Hasher struct {
+	h   hash.Hash
+	buf [10]byte
+}
+
+// NewHasher returns an empty Hasher.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+// Sum finalizes the accumulated input into a Key. The Hasher must not be
+// reused afterwards.
+func (h *Hasher) Sum() Key {
+	var k Key
+	h.h.Sum(k[:0])
+	return k
+}
+
+// Bytes mixes a length-prefixed byte slice into the key.
+func (h *Hasher) Bytes(b []byte) {
+	h.varint(uint64(len(b)))
+	h.h.Write(b)
+}
+
+// String mixes a length-prefixed string into the key.
+func (h *Hasher) String(s string) {
+	h.varint(uint64(len(s)))
+	h.h.Write([]byte(s))
+}
+
+// Int mixes a signed integer into the key.
+func (h *Hasher) Int(v int64) { h.varint(uint64(v)) }
+
+// Uint mixes an unsigned integer into the key.
+func (h *Hasher) Uint(v uint64) { h.varint(v) }
+
+// Bool mixes a boolean into the key.
+func (h *Hasher) Bool(v bool) {
+	if v {
+		h.varint(1)
+	} else {
+		h.varint(0)
+	}
+}
+
+// Float mixes a float64 into the key by its IEEE-754 bit pattern.
+func (h *Hasher) Float(v float64) { h.varint(math.Float64bits(v)) }
+
+func (h *Hasher) varint(v uint64) {
+	n := binary.PutUvarint(h.buf[:], v)
+	h.h.Write(h.buf[:n])
+}
+
+// kind tags prefix every encoded value so that values of different shapes
+// can never collide (e.g. the string "1" vs the integer 1).
+const (
+	tagBool byte = iota + 1
+	tagInt
+	tagUint
+	tagFloat
+	tagString
+	tagBytes
+	tagSlice
+	tagMap
+	tagStruct
+	tagNil
+	tagPtr
+)
+
+func (h *Hasher) tag(t byte) { h.h.Write([]byte{t}) }
+
+// Value mixes an arbitrary acyclic Go value into the key using a canonical
+// deterministic encoding: struct fields in declaration order (prefixed with
+// their names), map entries sorted by key, pointers dereferenced with an
+// explicit nil marker. Channels, functions and unsafe pointers are not
+// supported and panic; cyclic values hang. Interface-typed fields must hold
+// one of the supported kinds.
+func (h *Hasher) Value(v any) { h.value(reflect.ValueOf(v)) }
+
+func (h *Hasher) value(v reflect.Value) {
+	if !v.IsValid() {
+		h.tag(tagNil)
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		h.tag(tagBool)
+		h.Bool(v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		h.tag(tagInt)
+		h.Int(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		h.tag(tagUint)
+		h.Uint(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		h.tag(tagFloat)
+		h.Float(v.Float())
+	case reflect.String:
+		h.tag(tagString)
+		h.String(v.String())
+	case reflect.Slice, reflect.Array:
+		if v.Kind() == reflect.Slice && v.IsNil() {
+			h.tag(tagNil)
+			return
+		}
+		if v.Kind() == reflect.Slice && v.Type().Elem().Kind() == reflect.Uint8 {
+			h.tag(tagBytes)
+			h.Bytes(v.Bytes())
+			return
+		}
+		h.tag(tagSlice)
+		h.varint(uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			h.value(v.Index(i))
+		}
+	case reflect.Map:
+		if v.IsNil() {
+			h.tag(tagNil)
+			return
+		}
+		h.tag(tagMap)
+		h.varint(uint64(v.Len()))
+		keys := v.MapKeys()
+		sort.Slice(keys, func(i, j int) bool { return mapKeyLess(keys[i], keys[j]) })
+		for _, k := range keys {
+			h.value(k)
+			h.value(v.MapIndex(k))
+		}
+	case reflect.Struct:
+		h.tag(tagStruct)
+		t := v.Type()
+		h.varint(uint64(t.NumField()))
+		for i := 0; i < t.NumField(); i++ {
+			h.String(t.Field(i).Name)
+			h.value(v.Field(i))
+		}
+	case reflect.Ptr, reflect.Interface:
+		if v.IsNil() {
+			h.tag(tagNil)
+			return
+		}
+		h.tag(tagPtr)
+		h.value(v.Elem())
+	default:
+		panic(fmt.Sprintf("simcache: cannot hash value of kind %v", v.Kind()))
+	}
+}
+
+// mapKeyLess orders map keys of any comparable primitive kind; mixed-kind
+// keys (possible only through interface keys) order by kind first.
+func mapKeyLess(a, b reflect.Value) bool {
+	if a.Kind() != b.Kind() {
+		return a.Kind() < b.Kind()
+	}
+	switch a.Kind() {
+	case reflect.Bool:
+		return !a.Bool() && b.Bool()
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return a.Int() < b.Int()
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return a.Uint() < b.Uint()
+	case reflect.Float32, reflect.Float64:
+		return a.Float() < b.Float()
+	case reflect.String:
+		return a.String() < b.String()
+	default:
+		// Fall back to the formatted representation; struct keys are rare
+		// and this stays deterministic.
+		return fmt.Sprint(a.Interface()) < fmt.Sprint(b.Interface())
+	}
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness and occupancy.
+type Stats struct {
+	// Hits and Misses count Get calls since construction (or Purge).
+	Hits, Misses int64
+	// Evictions counts entries dropped to make room.
+	Evictions int64
+	// Entries and Bytes describe current occupancy.
+	Entries int
+	Bytes   int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Default capacity bounds used when New is given non-positive limits.
+const (
+	DefaultMaxEntries = 4096
+	DefaultMaxBytes   = 256 << 20 // 256 MiB
+)
+
+// Cache is a thread-safe LRU keyed by content-addressed Keys and bounded
+// by both entry count and accounted byte size.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	items      map[Key]*list.Element
+	bytes      int64
+	hits       int64
+	misses     int64
+	evictions  int64
+
+	// flightMu guards the single-flight table used by Acquire/Release.
+	// Separate from mu: Release must never contend with Get/Put hot paths
+	// beyond the table itself. Lock order: flightMu before mu, never the
+	// reverse.
+	flightMu sync.Mutex
+	inflight map[Key]chan struct{}
+}
+
+type entry struct {
+	key  Key
+	val  any
+	size int64
+}
+
+// New returns an empty cache bounded to at most maxEntries entries and
+// maxBytes accounted bytes. Non-positive limits select DefaultMaxEntries /
+// DefaultMaxBytes.
+func New(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[Key]*list.Element),
+		inflight:   make(map[Key]chan struct{}),
+	}
+}
+
+// peek returns the value under k and bumps its recency without touching
+// the hit/miss counters — Acquire's building block, so a coalesced waiter
+// that loops does not inflate the statistics.
+func (c *Cache) peek(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+func (c *Cache) count(hit bool) {
+	c.mu.Lock()
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+}
+
+// Acquire is Get plus single-flight coalescing. On a hit it returns
+// (value, true, nil). On a miss it either registers the caller as the
+// key's sole computer and returns (nil, false, nil) — the caller MUST
+// call Release(k) when finished, after Put on success — or, when another
+// goroutine already holds the key, blocks until that computer releases
+// (or ctx is cancelled, returning ctx's error) and retries. Coalescing is
+// cache-wide: concurrent runs and sweep points sharing this cache never
+// compute the same key twice, and hit/miss statistics count each
+// successful Acquire's final outcome exactly once.
+func (c *Cache) Acquire(ctx context.Context, k Key) (any, bool, error) {
+	for {
+		if v, ok := c.peek(k); ok {
+			c.count(true)
+			return v, true, nil
+		}
+		c.flightMu.Lock()
+		ch, busy := c.inflight[k]
+		if !busy {
+			// The previous computer may have stored the value and
+			// released between our miss above and taking flightMu;
+			// without this re-check we would compute the key twice.
+			if v, ok := c.peek(k); ok {
+				c.flightMu.Unlock()
+				c.count(true)
+				return v, true, nil
+			}
+			ch = make(chan struct{})
+			c.inflight[k] = ch
+			c.flightMu.Unlock()
+			c.count(false)
+			return nil, false, nil
+		}
+		c.flightMu.Unlock()
+		// Wait for the computer, then retry: usually the next peek hits,
+		// but if the computer failed without a Put the loop registers us
+		// as the new computer.
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// Release frees the single-flight slot taken by a missed Acquire, waking
+// every goroutine coalesced behind it. Releasing a key that is not held
+// is a no-op.
+func (c *Cache) Release(k Key) {
+	c.flightMu.Lock()
+	ch, ok := c.inflight[k]
+	delete(c.inflight, k)
+	c.flightMu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
+// MaxEntryBytes returns the largest accounted size Put will accept (half
+// the byte budget). Callers that buffer data speculatively before caching
+// it can stop buffering once this bound is exceeded.
+func (c *Cache) MaxEntryBytes() int64 { return c.maxBytes / 2 }
+
+// Get returns the value stored under k and marks it most recently used.
+// The returned value is the cached instance itself: callers must copy it
+// before any mutation.
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores v under k with the given accounted size, evicting
+// least-recently-used entries until both bounds hold. Values larger than
+// half the byte budget are not cached at all (they would evict everything
+// else for a single entry). Storing under an existing key replaces the
+// value.
+func (c *Cache) Put(k Key, v any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.maxBytes/2 {
+		return
+	}
+	if el, ok := c.items[k]; ok {
+		e := el.Value.(*entry)
+		c.bytes += size - e.size
+		e.val, e.size = v, size
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry{key: k, val: v, size: size})
+		c.items[k] = el
+		c.bytes += size
+	}
+	for (c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes) && c.ll.Len() > 1 {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the least recently used entry. Caller holds mu.
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.size
+	c.evictions++
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}
+
+// Purge empties the cache and resets all statistics.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[Key]*list.Element)
+	c.bytes, c.hits, c.misses, c.evictions = 0, 0, 0, 0
+}

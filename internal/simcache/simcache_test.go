@@ -1,0 +1,368 @@
+package simcache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type fakeERT struct {
+	Name    string
+	Entries map[string]map[string]float64
+	Leak    float64
+}
+
+func sampleERT() fakeERT {
+	return fakeERT{
+		Name: "65nm",
+		Entries: map[string]map[string]float64{
+			"mac":  {"random": 2.2, "gated": 0.1},
+			"sram": {"read": 12.0, "write": 13.5},
+		},
+		Leak: 0.02,
+	}
+}
+
+func TestHasherDeterministicAcrossMapOrder(t *testing.T) {
+	// Hash the same logical value many times; map iteration order must not
+	// leak into the key.
+	var first Key
+	for i := 0; i < 50; i++ {
+		h := NewHasher()
+		h.Value(sampleERT())
+		k := h.Sum()
+		if i == 0 {
+			first = k
+			continue
+		}
+		if k != first {
+			t.Fatalf("iteration %d: key %x differs from first %x", i, k, first)
+		}
+	}
+}
+
+func TestHasherDistinguishesValues(t *testing.T) {
+	key := func(v any) Key {
+		h := NewHasher()
+		h.Value(v)
+		return h.Sum()
+	}
+	a := sampleERT()
+	b := sampleERT()
+	b.Entries["mac"]["random"] = 2.3
+	if key(a) == key(b) {
+		t.Error("changed nested map value did not change the key")
+	}
+	c := sampleERT()
+	c.Name = "45nm"
+	if key(a) == key(c) {
+		t.Error("changed string field did not change the key")
+	}
+	type twoInts struct{ A, B int }
+	if key(twoInts{1, 2}) == key(twoInts{2, 1}) {
+		t.Error("swapped struct fields did not change the key")
+	}
+	if key([]int{1, 2}) == key([]int{1, 2, 0}) {
+		t.Error("appended zero element did not change the key")
+	}
+	var nilp *int
+	one := 1
+	if key(nilp) == key(&one) {
+		t.Error("nil pointer collides with pointer to value")
+	}
+}
+
+func TestHasherPointerIdentityIrrelevant(t *testing.T) {
+	// Two distinct pointers to equal values must hash identically: the
+	// cache is content-addressed, not identity-addressed.
+	a, b := sampleERT(), sampleERT()
+	ha, hb := NewHasher(), NewHasher()
+	ha.Value(&a)
+	hb.Value(&b)
+	if ha.Sum() != hb.Sum() {
+		t.Error("equal values behind distinct pointers hash differently")
+	}
+}
+
+func keyOf(s string) Key {
+	h := NewHasher()
+	h.String(s)
+	return h.Sum()
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(10, 1<<20)
+	if _, ok := c.Get(keyOf("a")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(keyOf("a"), "va", 100)
+	v, ok := c.Get(keyOf("a"))
+	if !ok || v.(string) != "va" {
+		t.Fatalf("got %v %v, want va true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 100 {
+		t.Errorf("stats %+v, want 1 hit, 1 miss, 1 entry, 100 bytes", st)
+	}
+	// Replacement adjusts accounted size.
+	c.Put(keyOf("a"), "vb", 40)
+	if st := c.Stats(); st.Bytes != 40 || st.Entries != 1 {
+		t.Errorf("after replace: %+v, want 40 bytes, 1 entry", st)
+	}
+}
+
+func TestCacheEntryLimitEvictsLRU(t *testing.T) {
+	c := New(3, 1<<20)
+	for i := 0; i < 3; i++ {
+		c.Put(keyOf(fmt.Sprint(i)), i, 10)
+	}
+	c.Get(keyOf("0")) // 0 becomes most recently used; 1 is now oldest
+	c.Put(keyOf("3"), 3, 10)
+	if _, ok := c.Get(keyOf("1")); ok {
+		t.Error("LRU entry 1 survived eviction")
+	}
+	for _, k := range []string{"0", "2", "3"} {
+		if _, ok := c.Get(keyOf(k)); !ok {
+			t.Errorf("entry %s evicted although recently used", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Errorf("stats %+v, want 1 eviction, 3 entries", st)
+	}
+}
+
+func TestCacheByteLimitEvicts(t *testing.T) {
+	c := New(100, 250)
+	c.Put(keyOf("a"), "a", 100)
+	c.Put(keyOf("b"), "b", 100)
+	c.Put(keyOf("c"), "c", 100) // 300 > 250: "a" must go
+	if _, ok := c.Get(keyOf("a")); ok {
+		t.Error("oldest entry survived byte-limit eviction")
+	}
+	if st := c.Stats(); st.Bytes > 250 {
+		t.Errorf("bytes %d over limit 250", st.Bytes)
+	}
+}
+
+func TestCacheRejectsOversizedEntry(t *testing.T) {
+	c := New(100, 200)
+	c.Put(keyOf("big"), "big", 150) // > maxBytes/2: not cached
+	if _, ok := c.Get(keyOf("big")); ok {
+		t.Error("entry larger than half the byte budget was cached")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats %+v, want empty cache", st)
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := New(10, 1000)
+	c.Put(keyOf("a"), 1, 10)
+	c.Get(keyOf("a"))
+	c.Purge()
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("stats after purge: %+v, want all zero", st)
+	}
+	if _, ok := c.Get(keyOf("a")); ok {
+		t.Error("entry survived purge")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := New(64, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := keyOf(fmt.Sprint(i % 100))
+				if v, ok := c.Get(k); ok {
+					if v.(int) != i%100 {
+						t.Errorf("key %d holds %v", i%100, v)
+						return
+					}
+				} else {
+					c.Put(k, i%100, 16)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestAcquireSingleFlight(t *testing.T) {
+	c := New(16, 1<<20)
+	k := keyOf("sf")
+	ctx := context.Background()
+	const workers = 8
+	var computed, hits int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, hit, err := c.Acquire(ctx, k)
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			if !hit {
+				mu.Lock()
+				computed++
+				mu.Unlock()
+				c.Put(k, 42, 8)
+				c.Release(k)
+				return
+			}
+			mu.Lock()
+			hits++
+			mu.Unlock()
+			if v.(int) != 42 {
+				t.Errorf("hit returned %v, want 42", v)
+			}
+		}()
+	}
+	wg.Wait()
+	if computed != 1 {
+		t.Errorf("%d goroutines computed the key, want exactly 1", computed)
+	}
+	if hits != workers-1 {
+		t.Errorf("%d hits, want %d", hits, workers-1)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != workers-1 {
+		t.Errorf("stats %+v, want 1 miss, %d hits", st, workers-1)
+	}
+}
+
+// TestAcquireNoDoubleComputeAfterRelease guards the lost-wakeup race: an
+// acquirer that misses, gets descheduled through a full Put+Release by
+// the computer, and only then reaches the flight table must rediscover
+// the value instead of registering as a second computer.
+func TestAcquireNoDoubleComputeAfterRelease(t *testing.T) {
+	// Capacity comfortably above the 50 distinct keys: any recomputation
+	// is a single-flight bug, not an eviction.
+	c := New(64, 1<<20)
+	ctx := context.Background()
+	// Serial schedule equivalent to the interleaving: compute, store,
+	// release, THEN a fresh Acquire. Exactly-once means the second
+	// Acquire must hit.
+	k := keyOf("seq")
+	if _, hit, _ := c.Acquire(ctx, k); hit {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, 1, 8)
+	c.Release(k)
+	if _, hit, _ := c.Acquire(ctx, k); !hit {
+		t.Fatal("re-acquire after Put+Release missed: key would be computed twice")
+	}
+	// Hammer the same pattern concurrently: total computations across
+	// all goroutines and keys must equal the number of distinct keys.
+	var computed int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ki := keyOf(fmt.Sprint(i % 50))
+				v, hit, err := c.Acquire(ctx, ki)
+				if err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				if !hit {
+					mu.Lock()
+					computed++
+					mu.Unlock()
+					c.Put(ki, i%50, 8)
+					c.Release(ki)
+				} else if v.(int) != i%50 {
+					t.Errorf("key %d holds %v", i%50, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if computed != 50 {
+		t.Errorf("%d computations for 50 distinct keys, want exactly 50", computed)
+	}
+}
+
+func TestAcquireComputerFailureHandsOff(t *testing.T) {
+	c := New(16, 1<<20)
+	k := keyOf("fail")
+	ctx := context.Background()
+	if _, hit, _ := c.Acquire(ctx, k); hit {
+		t.Fatal("hit on empty cache")
+	}
+	// A second acquirer blocks behind us.
+	got := make(chan bool, 1)
+	go func() {
+		_, hit, err := c.Acquire(ctx, k)
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+		}
+		got <- hit
+		if !hit {
+			// We inherited the slot after the first computer failed.
+			c.Put(k, "v", 8)
+			c.Release(k)
+		}
+	}()
+	// First computer fails: Release without Put. The waiter must take
+	// over (miss), not hang and not see a phantom hit.
+	c.Release(k)
+	if hit := <-got; hit {
+		t.Error("waiter saw a hit although the computer stored nothing")
+	}
+	if v, ok := c.Get(k); !ok || v.(string) != "v" {
+		t.Errorf("inherited computer's value missing: %v %v", v, ok)
+	}
+}
+
+// TestAcquireCancelledWaiter: a goroutine coalesced behind a slow
+// computer must honor context cancellation instead of blocking until the
+// computer finishes.
+func TestAcquireCancelledWaiter(t *testing.T) {
+	c := New(16, 1<<20)
+	k := keyOf("slow")
+	if _, hit, _ := c.Acquire(context.Background(), k); hit {
+		t.Fatal("hit on empty cache")
+	}
+	// We hold the slot and never release until the waiter has given up.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := c.Acquire(ctx, k)
+		errc <- err
+	}()
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Errorf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	c.Release(k) // slot still works afterwards
+	if _, hit, _ := c.Acquire(context.Background(), k); hit {
+		t.Error("phantom hit after failed computer")
+	}
+	c.Release(k)
+}
+
+func TestReleaseUnheldKeyIsNoop(t *testing.T) {
+	c := New(16, 1<<20)
+	c.Release(keyOf("never-acquired")) // must not panic
+}
+
+func TestStatsHitRate(t *testing.T) {
+	if hr := (Stats{}).HitRate(); hr != 0 {
+		t.Errorf("empty hit rate %v, want 0", hr)
+	}
+	if hr := (Stats{Hits: 3, Misses: 1}).HitRate(); hr != 0.75 {
+		t.Errorf("hit rate %v, want 0.75", hr)
+	}
+}

@@ -8,6 +8,7 @@ type options struct {
 	parallelism int
 	progress    func(LayerProgress)
 	stages      []Stage
+	cache       *Cache
 }
 
 func defaultOptions() options {
@@ -58,10 +59,36 @@ func WithProgress(fn func(LayerProgress)) Option {
 // DefaultStages (compute, layout, memory, energy); custom stages can be
 // appended to it or substituted for a built-in pass. Stages run in order
 // for every layer and must be safe for concurrent use across layers.
+//
+// A pipeline that contains a stage without a CacheFingerprint (see
+// StageFingerprinter) disables whole-layer result caching for the run,
+// because the cache cannot know what such a stage depends on.
 func WithStages(stages ...Stage) Option {
 	return func(o *options) {
 		if len(stages) > 0 {
 			o.stages = stages
 		}
 	}
+}
+
+// WithCache attaches a layer-result cache to a Simulator (when passed to
+// New), one run or a sweep. Layers whose (configuration, stage pipeline,
+// shape) fingerprint was simulated before — in this run, an earlier run,
+// or a sibling sweep point — are served as deep copies of the cached
+// result instead of being re-simulated. Cached and uncached runs produce
+// byte-identical reports.
+//
+// The same cache may back any number of concurrent runs. Passing nil
+// disables caching (the default).
+func WithCache(c *Cache) Option {
+	return func(o *options) { o.cache = c }
+}
+
+// WithSharedCache attaches the process-wide cache returned by SharedCache.
+// It is the one-line way to let every Run and Sweep in a process share
+// simulation work:
+//
+//	results, err := scalesim.Sweep(ctx, points, scalesim.WithSharedCache())
+func WithSharedCache() Option {
+	return func(o *options) { o.cache = SharedCache() }
 }

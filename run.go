@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"scalesim/internal/simcache"
 )
 
 // Run simulates every layer of the topology and returns per-layer results
@@ -15,6 +17,12 @@ import (
 // deterministic: any parallelism produces the same Result. The context
 // cancels the run between layers (and between stages of a layer); the
 // first layer error cancels the remaining work and is returned.
+//
+// With a cache attached (WithCache, WithSharedCache), layers whose
+// fingerprint — configuration, stage pipeline and layer shape, but not
+// layer name — matches an earlier simulation are served as deep copies of
+// the cached result; Result.CacheStats reports how many were. Cached and
+// uncached runs produce byte-identical reports.
 func (s *Simulator) Run(ctx context.Context, topo *Topology, opts ...Option) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -29,9 +37,13 @@ func (s *Simulator) Run(ctx context.Context, topo *Topology, opts ...Option) (*R
 	for _, opt := range opts {
 		opt(&o)
 	}
+	lc := newLayerCache(o.cache, &s.cfg, &o)
 	res := &Result{Config: s.cfg, Layers: make([]LayerResult, len(topo.Layers))}
-	if err := runLayers(ctx, &s.cfg, &o, topo, res.Layers); err != nil {
+	if err := runLayers(ctx, &s.cfg, &o, topo, res.Layers, lc); err != nil {
 		return nil, err
+	}
+	if lc != nil {
+		res.CacheStats = lc.stats()
 	}
 	return res, nil
 }
@@ -50,7 +62,7 @@ func isCtxSentinel(err error) bool {
 // layers that actually ran is reported (layers past the first failure may
 // never start, so under parallelism the surfaced error can differ between
 // runs when several layers fail).
-func runLayers(ctx context.Context, cfg *Config, o *options, topo *Topology, out []LayerResult) error {
+func runLayers(ctx context.Context, cfg *Config, o *options, topo *Topology, out []LayerResult, lc *layerCache) error {
 	n := len(topo.Layers)
 	if n == 0 {
 		return ctx.Err()
@@ -68,7 +80,7 @@ func runLayers(ctx context.Context, cfg *Config, o *options, topo *Topology, out
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			lr, err := runLayer(ctx, cfg, o, &topo.Layers[i])
+			lr, err := runLayer(ctx, cfg, o, &topo.Layers[i], lc)
 			if err == nil {
 				out[i] = *lr
 			}
@@ -98,7 +110,7 @@ func runLayers(ctx context.Context, cfg *Config, o *options, topo *Topology, out
 		if runCtx.Err() != nil {
 			return
 		}
-		lr, err := runLayer(runCtx, cfg, o, &topo.Layers[i])
+		lr, err := runLayer(runCtx, cfg, o, &topo.Layers[i], lc)
 		mu.Lock()
 		if err != nil {
 			errs[i] = err
@@ -158,8 +170,27 @@ func layerError(l *Layer, err error) error {
 	return fmt.Errorf("scalesim: layer %q: %w", l.Name, err)
 }
 
-// runLayer pushes one layer through the stage pipeline.
-func runLayer(ctx context.Context, cfg *Config, o *options, l *Layer) (*LayerResult, error) {
+// runLayer pushes one layer through the stage pipeline, consulting the
+// layer cache (when enabled) before doing any work and populating it
+// after.
+func runLayer(ctx context.Context, cfg *Config, o *options, l *Layer, lc *layerCache) (*LayerResult, error) {
+	var ckey simcache.Key
+	if lc != nil {
+		ckey = lc.key(l)
+		hit, err := lc.lookup(ctx, ckey, l)
+		if err != nil {
+			// Cancelled while coalesced behind another worker's
+			// simulation of this shape; the bare context error is the
+			// cancellation sentinel runLayers expects.
+			return nil, err
+		}
+		if hit != nil {
+			return hit, nil
+		}
+		// We hold the single-flight slot for this shape: simulate, then
+		// release it (after put on success, so coalesced workers hit).
+		defer lc.done(ckey)
+	}
 	m, n, k := l.GEMMDims()
 	lr := &LayerResult{Layer: *l, M: m, N: n, K: k}
 	sc := &StageContext{
@@ -174,6 +205,12 @@ func runLayer(ctx context.Context, cfg *Config, o *options, l *Layer) (*LayerRes
 		K:           k,
 		FilterRatio: 1,
 	}
+	if o.cache != nil {
+		// Sub-result memoization (layout analysis) stays valid even when
+		// whole-layer caching is off because of a custom stage: the built-in
+		// stages key their sub-results on exactly what they read.
+		sc.cache = o.cache.c
+	}
 	for _, st := range o.stages {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -181,6 +218,9 @@ func runLayer(ctx context.Context, cfg *Config, o *options, l *Layer) (*LayerRes
 		if err := st.Apply(ctx, sc, lr); err != nil {
 			return nil, fmt.Errorf("%s stage: %w", st.Name(), err)
 		}
+	}
+	if lc != nil {
+		lc.put(ckey, lr)
 	}
 	return lr, nil
 }

@@ -36,6 +36,19 @@
 // The per-layer model passes (compute, layout, memory, energy) are
 // pluggable stages; WithStages replaces the pipeline, e.g. to insert a
 // custom DRAM backend or drop passes a caller does not need.
+//
+// Runs and sweeps can share a content-addressed layer-result cache:
+//
+//	cache := scalesim.NewCache(0, 0) // default bounds
+//	res, err := sim.Run(ctx, topo, scalesim.WithCache(cache))
+//	results, err := scalesim.Sweep(ctx, pts, scalesim.WithCache(cache))
+//
+// Layers whose (configuration, stage pipeline, shape) fingerprint was
+// simulated before — repeated blocks of a ResNet-style topology, or the
+// unchanged layers of a sweep — are served from the cache as deep copies;
+// cached and uncached runs produce byte-identical reports. WithSharedCache
+// selects a process-wide cache, and Result.CacheStats / Cache.Stats expose
+// hit rates and occupancy.
 package scalesim
 
 import (
@@ -58,6 +71,8 @@ type (
 	Topology = topology.Topology
 	// Layer is one convolution or GEMM layer.
 	Layer = topology.Layer
+	// LayerKind distinguishes convolution layers from raw GEMM layers.
+	LayerKind = topology.LayerKind
 	// Sparsity is an N:M structured-sparsity annotation.
 	Sparsity = topology.Sparsity
 	// ERT is an Accelergy-style energy reference table mapping component
@@ -70,6 +85,14 @@ const (
 	OutputStationary = config.OutputStationary
 	WeightStationary = config.WeightStationary
 	InputStationary  = config.InputStationary
+)
+
+// Layer kinds, for constructing topologies programmatically.
+const (
+	// Conv is a 2-D convolution layer, described by ifmap/filter geometry.
+	Conv = topology.Conv
+	// GEMM is a plain matrix-multiplication layer, described by M, N, K.
+	GEMM = topology.GEMM
 )
 
 // DefaultConfig returns the SCALE-Sim default single-core configuration.
@@ -136,8 +159,14 @@ type LayerResult struct {
 
 // Result is the outcome of simulating a topology.
 type Result struct {
+	// Config is the configuration the run executed under.
 	Config Config
+	// Layers holds one result per topology layer, in topology order.
 	Layers []LayerResult
+	// CacheStats reports layer-cache effectiveness for this run. It is
+	// zero unless a cache was attached (WithCache, WithSharedCache) and
+	// the stage pipeline was fingerprintable (see StageFingerprinter).
+	CacheStats RunCacheStats
 }
 
 // Summary aggregates the run.

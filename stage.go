@@ -9,6 +9,7 @@ import (
 	"scalesim/internal/layout"
 	"scalesim/internal/multicore"
 	"scalesim/internal/report"
+	"scalesim/internal/simcache"
 	"scalesim/internal/sparse"
 	"scalesim/internal/sram"
 	"scalesim/internal/systolic"
@@ -38,6 +39,9 @@ type StageContext struct {
 
 	// pattern is the sparse compression pattern, nil for dense layers.
 	pattern *sparse.Pattern
+	// cache holds sub-result memoization (e.g. the layout analysis) when a
+	// simulation cache is attached to the run; nil otherwise.
+	cache *simcache.Cache
 }
 
 // Stage is one pass of the per-layer model pipeline. Built-in stages cover
@@ -50,6 +54,22 @@ type Stage interface {
 	// Apply runs the pass for one layer, mutating lr (and, for
 	// cross-stage state, sc).
 	Apply(ctx context.Context, sc *StageContext, lr *LayerResult) error
+}
+
+// StageFingerprinter is the optional interface a Stage implements to make
+// its layers cacheable (see WithCache). CacheFingerprint must return a
+// string that changes whenever the stage's behavior changes: two pipelines
+// whose stages return equal fingerprints must produce identical
+// LayerResults for identical (Config, ERT, Layer) inputs.
+//
+// The built-in stages are pure functions of those inputs, so their
+// fingerprints are version-tagged constants. A custom stage that is
+// likewise deterministic can implement this interface to opt into caching;
+// encode any behavior-affecting stage parameters into the returned string.
+// Pipelines containing a stage that does not implement it run with
+// whole-layer caching disabled.
+type StageFingerprinter interface {
+	CacheFingerprint() string
 }
 
 // DefaultStages returns the standard pipeline: compute, layout slowdown,
@@ -80,6 +100,10 @@ func EnergyStage() Stage { return energyStage{} }
 type computeStage struct{}
 
 func (computeStage) Name() string { return "compute" }
+
+// CacheFingerprint marks the stage cacheable: its output is a pure
+// function of (Config, Layer).
+func (computeStage) CacheFingerprint() string { return "compute/v1" }
 
 func (computeStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) error {
 	cfg := sc.Config
@@ -176,13 +200,63 @@ type layoutStage struct{}
 
 func (layoutStage) Name() string { return "layout" }
 
+// CacheFingerprint marks the stage cacheable: its output is a pure
+// function of (Config.Layout, dataflow, array shape, GEMM dims).
+func (layoutStage) CacheFingerprint() string { return "layout/v1" }
+
 // Apply streams the layer's demand through the bank-conflict analyzer for
 // each operand SRAM and converts the aggregate slowdown into stall cycles.
+//
+// The slowdown depends only on the layout section, the effective dataflow,
+// the array shape and the GEMM dims — not on the memory or energy knobs —
+// so it is memoized under its own narrower cache key. A sweep that varies
+// only DRAM or energy parameters replays the demand analysis once per
+// distinct layer shape instead of once per (point, layer).
 func (layoutStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) error {
 	cfg := sc.Config
 	if !cfg.Layout.Enabled {
 		return nil
 	}
+	var key simcache.Key
+	if sc.cache != nil {
+		h := simcache.NewHasher()
+		h.String("scalesim/layout/v1")
+		h.Value(cfg.Layout)
+		for _, v := range []int{int(sc.Dataflow), sc.Rows, sc.Cols, sc.M, sc.N, sc.K} {
+			h.Int(int64(v))
+		}
+		key = h.Sum()
+		if v, ok := sc.cache.Get(key); ok {
+			applyLayoutSlowdown(lr, v.(float64))
+			return nil
+		}
+	}
+	slow, err := layoutSlowdown(sc)
+	if err != nil {
+		return err
+	}
+	if sc.cache != nil {
+		sc.cache.Put(key, slow, 64)
+	}
+	applyLayoutSlowdown(lr, slow)
+	return nil
+}
+
+// applyLayoutSlowdown converts the relative slowdown into stall cycles on
+// top of the layer's compute cycles.
+func applyLayoutSlowdown(lr *LayerResult, slow float64) {
+	lr.LayoutSlowdown = slow
+	if slow > 0 {
+		extra := int64(float64(lr.ComputeCycles) * slow)
+		lr.StallCycles += extra
+		lr.TotalCycles += extra
+	}
+}
+
+// layoutSlowdown runs the bank-conflict analysis and returns the relative
+// slowdown of the layer's demand stream versus the pure-bandwidth model.
+func layoutSlowdown(sc *StageContext) (float64, error) {
+	cfg := sc.Config
 	lc := layout.Config{
 		Banks:          cfg.Layout.Banks,
 		PortsPerBank:   cfg.Layout.PortsPerBank,
@@ -190,15 +264,15 @@ func (layoutStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) e
 	}
 	ifa, err := layout.NewAnalyzer(lc)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	fla, err := layout.NewAnalyzer(lc)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	ofa, err := layout.NewAnalyzer(lc)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// Operands are stored in their stream-natural order (the layout a
 	// layout-aware mapper picks); the remaining slowdown is the bank
@@ -216,26 +290,23 @@ func (layoutStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) e
 		return true
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	layoutCyc := ifa.LayoutCycles + fla.LayoutCycles + ofa.LayoutCycles
 	baseCyc := ifa.BaselineCycles + fla.BaselineCycles + ofa.BaselineCycles
 	if baseCyc == 0 {
-		return nil
+		return 0, nil
 	}
-	slow := float64(layoutCyc-baseCyc) / float64(baseCyc)
-	lr.LayoutSlowdown = slow
-	if slow > 0 {
-		extra := int64(float64(lr.ComputeCycles) * slow)
-		lr.StallCycles += extra
-		lr.TotalCycles += extra
-	}
-	return nil
+	return float64(layoutCyc-baseCyc) / float64(baseCyc), nil
 }
 
 type memoryStage struct{}
 
 func (memoryStage) Name() string { return "memory" }
+
+// CacheFingerprint marks the stage cacheable: its output is a pure
+// function of (Config, Layer) and the state left by the compute stage.
+func (memoryStage) CacheFingerprint() string { return "memory/v1" }
 
 // Apply records the layer's minimum DRAM traffic and, when the memory
 // model is enabled, runs the three-step Ramulator workflow for the layer.
@@ -305,6 +376,10 @@ func (memoryStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) e
 type energyStage struct{}
 
 func (energyStage) Name() string { return "energy" }
+
+// CacheFingerprint marks the stage cacheable: its output is a pure
+// function of (Config, ERT, Layer) and the state left by earlier stages.
+func (energyStage) CacheFingerprint() string { return "energy/v1" }
 
 // Apply runs the Accelergy-style flow for one layer.
 func (energyStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) error {

@@ -34,6 +34,12 @@ type SweepResult struct {
 // concurrency. Unlike Run, a failing point does not cancel its siblings:
 // its error lands in SweepResult.Err and the sweep continues. Sweep itself
 // returns an error only when ctx is cancelled.
+//
+// A cache attached with WithCache or WithSharedCache is shared by every
+// point: sweep points that agree on the simulation-relevant configuration
+// and a layer's shape simulate that layer once, and points that vary only
+// DRAM or energy knobs still share the layout analysis of unchanged
+// layers. Each point's Result.CacheStats reports its own hits and misses.
 func Sweep(ctx context.Context, points []SweepPoint, opts ...Option) ([]SweepResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -78,7 +84,7 @@ func Sweep(ctx context.Context, points []SweepPoint, opts ...Option) ([]SweepRes
 // runSweepPoint runs one point sequentially, forwarding progress callbacks
 // tagged with the point name.
 func runSweepPoint(ctx context.Context, o *options, mu *sync.Mutex, p *SweepPoint) (*Result, error) {
-	runOpts := []Option{WithParallelism(1), WithERT(o.ert), WithStages(o.stages...)}
+	runOpts := []Option{WithParallelism(1), WithERT(o.ert), WithStages(o.stages...), WithCache(o.cache)}
 	if o.progress != nil {
 		name, fn := p.Name, o.progress
 		runOpts = append(runOpts, WithProgress(func(lp LayerProgress) {
