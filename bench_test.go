@@ -376,6 +376,42 @@ func BenchmarkRunRepeatedShapes(b *testing.B) {
 	})
 }
 
+// BenchmarkExploreCached runs a small evolutionary design-space search on
+// the repeated-shape topology with the DRAM model enabled. Every
+// generation's Sweep batch shares one layer-result cache, so each
+// candidate simulates its distinct conv shape once (the five sibling
+// blocks are whole-layer hits) while the search walks DRAM knobs. The
+// benchmark fails outright if the cache stops serving hits across
+// generations — the explorer's core perf contract.
+func BenchmarkExploreCached(b *testing.B) {
+	topo := dramSweepPoints()[0].Topology
+	space, err := scalesim.ParseSpace("channels=1..4:pow2; dram_tech=DDR4,HBM2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := scalesim.DefaultConfig()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := scalesim.Explore(ctx, cfg, topo, space,
+			scalesim.WithObjectives(scalesim.CyclesObjective(), scalesim.DRAMTrafficObjective()),
+			scalesim.WithSearchStrategy(scalesim.EvolutionSearch),
+			scalesim.WithEvalBudget(6),
+			scalesim.WithBatchSize(2), // 3 generations
+			scalesim.WithSeed(1),
+			scalesim.WithExploreParallelism(1),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.CacheStats.Hits == 0 {
+			b.Fatal("explore search produced no cache hits across generations")
+		}
+		b.ReportMetric(float64(f.CacheStats.Hits), "cache_hits")
+		b.ReportMetric(float64(f.CacheStats.Misses), "cache_misses")
+	}
+}
+
 // BenchmarkSweep measures the sweep engine fanning one workload across
 // array-size variants.
 func BenchmarkSweep(b *testing.B) {

@@ -1,10 +1,15 @@
 // Command scalesim runs the simulator on a configuration and topology and
-// writes the SCALE-Sim report CSVs.
+// writes the SCALE-Sim report CSVs, or explores a design space and writes
+// the Pareto frontier.
 //
 // Usage:
 //
 //	scalesim -topology resnet18 -outdir ./out
 //	scalesim -config tpu.cfg -topology ./my_model.csv -dataflow ws
+//	scalesim explore -topology resnet18 \
+//	    -space "array=16..128:pow2;dataflow=os,ws,is;channels=1..4:pow2" \
+//	    -objectives cycles,energy -strategy random -budget 48 -seed 1 \
+//	    -outdir ./out
 package main
 
 import (
@@ -21,7 +26,13 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "explore" {
+		err = runExplore(os.Args[2:])
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "scalesim:", err)
 		os.Exit(1)
 	}
@@ -54,22 +65,9 @@ func run() error {
 		return fmt.Errorf("missing -topology")
 	}
 
-	cfg := scalesim.DefaultConfig()
-	switch strings.ToLower(*preset) {
-	case "", "default":
-	case "tpu":
-		cfg = scalesim.TPUConfig()
-	case "eyeriss":
-		cfg = config.EyerissLike()
-	default:
-		return fmt.Errorf("unknown preset %q", *preset)
-	}
-	if *cfgPath != "" {
-		var err error
-		cfg, err = scalesim.LoadConfig(*cfgPath)
-		if err != nil {
-			return err
-		}
+	cfg, err := baseConfig(*preset, *cfgPath, *memory, *energy, *layoutF)
+	if err != nil {
+		return err
 	}
 	if *dataflow != "" {
 		df, err := config.ParseDataflow(*dataflow)
@@ -78,9 +76,6 @@ func run() error {
 		}
 		cfg.Dataflow = df
 	}
-	cfg.Memory.Enabled = cfg.Memory.Enabled || *memory
-	cfg.Energy.Enabled = cfg.Energy.Enabled || *energy
-	cfg.Layout.Enabled = cfg.Layout.Enabled || *layoutF
 
 	topo, err := loadTopology(*topoArg)
 	if err != nil {
@@ -124,4 +119,137 @@ func loadTopology(arg string) (*scalesim.Topology, error) {
 		}
 	}
 	return scalesim.LoadTopology(arg)
+}
+
+// baseConfig resolves the configuration flags shared by both subcommands:
+// a preset (overridden by an explicit -config file) plus the model-enable
+// flags, which OR into whatever the file selected.
+func baseConfig(preset, cfgPath string, memory, energy, layout bool) (scalesim.Config, error) {
+	cfg := scalesim.DefaultConfig()
+	switch strings.ToLower(preset) {
+	case "", "default":
+	case "tpu":
+		cfg = scalesim.TPUConfig()
+	case "eyeriss":
+		cfg = config.EyerissLike()
+	default:
+		return cfg, fmt.Errorf("unknown preset %q", preset)
+	}
+	if cfgPath != "" {
+		var err error
+		cfg, err = scalesim.LoadConfig(cfgPath)
+		if err != nil {
+			return cfg, err
+		}
+	}
+	cfg.Memory.Enabled = cfg.Memory.Enabled || memory
+	cfg.Energy.Enabled = cfg.Energy.Enabled || energy
+	cfg.Layout.Enabled = cfg.Layout.Enabled || layout
+	return cfg, nil
+}
+
+// runExplore is the `scalesim explore` subcommand: search a design space
+// and write FRONTIER.csv / FRONTIER.json.
+func runExplore(args []string) error {
+	fs := flag.NewFlagSet("scalesim explore", flag.ExitOnError)
+	var (
+		cfgPath    = fs.String("config", "", "SCALE-Sim .cfg file for the base configuration")
+		preset     = fs.String("preset", "", "base config preset: default, tpu or eyeriss")
+		topoArg    = fs.String("topology", "", "builtin model name or topology CSV path (required)")
+		space      = fs.String("space", "", "semicolon-separated axis specs, e.g. \"array=16..128:pow2;dataflow=os,ws,is\" (required)")
+		objectives = fs.String("objectives", "cycles", "comma-separated objectives: cycles, energy, edp, dram, utilization")
+		strategy   = fs.String("strategy", "auto", "search strategy: grid, random, evolve or auto")
+		budget     = fs.Int("budget", 64, "maximum candidate evaluations")
+		seed       = fs.Int64("seed", 1, "random seed for the stochastic strategies")
+		batch      = fs.Int("batch", 8, "candidates per evaluation batch (generation size)")
+		par        = fs.Int("parallelism", 0, "worker pool width per batch (0 = GOMAXPROCS)")
+		outDir     = fs.String("outdir", ".", "directory for FRONTIER.csv and FRONTIER.json")
+		progress   = fs.Bool("progress", false, "print per-candidate progress to stderr")
+		memory     = fs.Bool("memory", false, "enable the cycle-accurate DRAM model in the base config")
+		energyF    = fs.Bool("energy", false, "enable energy/power estimation in the base config")
+		layoutF    = fs.Bool("layout", false, "enable data-layout bank-conflict modeling in the base config")
+		axes       = fs.Bool("axes", false, "list the axis knobs -space understands and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *axes {
+		for _, n := range scalesim.KnownAxisNames() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	if *topoArg == "" || *space == "" {
+		fs.Usage()
+		return fmt.Errorf("explore: missing -topology or -space")
+	}
+
+	cfg, err := baseConfig(*preset, *cfgPath, *memory, *energyF, *layoutF)
+	if err != nil {
+		return err
+	}
+
+	sp, err := scalesim.ParseSpace(*space)
+	if err != nil {
+		return err
+	}
+	objs, err := scalesim.ParseObjectives(*objectives)
+	if err != nil {
+		return err
+	}
+	// Energy-derived objectives are meaningless with the energy model off;
+	// turn it on rather than ranking identical zeros.
+	for _, o := range objs {
+		if (o.Name == "energy_mj" || o.Name == "edp") && !cfg.Energy.Enabled {
+			fmt.Fprintln(os.Stderr, "note: enabling energy modeling for the", o.Name, "objective")
+			cfg.Energy.Enabled = true
+		}
+	}
+
+	topo, err := loadTopology(*topoArg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []scalesim.ExploreOption{
+		scalesim.WithObjectives(objs...),
+		scalesim.WithSearchStrategy(scalesim.SearchStrategy(*strategy)),
+		scalesim.WithEvalBudget(*budget),
+		scalesim.WithBatchSize(*batch),
+		scalesim.WithSeed(*seed),
+		scalesim.WithExploreParallelism(*par),
+	}
+	if *progress {
+		opts = append(opts, scalesim.WithExploreProgress(func(p scalesim.ExploreProgress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "infeasible: " + p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] gen %d %s (%s)\n", p.Evaluated, p.Budget, p.Generation, p.Point, status)
+		}))
+	}
+	frontier, err := scalesim.Explore(ctx, cfg, topo, sp, opts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("strategy=%s seed=%d evaluated=%d infeasible=%d cache_hits=%d cache_misses=%d\n",
+		frontier.Strategy, frontier.Seed, frontier.Evaluated, frontier.Infeasible,
+		frontier.CacheStats.Hits, frontier.CacheStats.Misses)
+	fmt.Printf("frontier: %d non-dominated point(s)\n", len(frontier.Points))
+	for _, p := range frontier.Points {
+		fmt.Printf("  %s:", p.Name)
+		for i, name := range frontier.ObjectiveNames {
+			fmt.Printf(" %s=%.6g", name, p.Objectives[i])
+		}
+		fmt.Println()
+	}
+	if err := frontier.WriteAll(*outDir); err != nil {
+		return err
+	}
+	fmt.Printf("frontier written to %s\n", filepath.Join(*outDir, scalesim.FrontierCSVFile))
+	return nil
 }

@@ -82,6 +82,35 @@ func ExampleWithStages() {
 	// compute-only total: 1204 cycles
 }
 
+// ExampleExplore searches a small design space for Pareto-optimal
+// configurations: the exhaustive grid strategy here evaluates every
+// (array size, dataflow) candidate and keeps the designs where no other
+// candidate is both faster and better utilized.
+func ExampleExplore() {
+	space, err := scalesim.ParseSpace("array=16..32:pow2; dataflow=os,ws")
+	if err != nil {
+		log.Fatal(err)
+	}
+	frontier, err := scalesim.Explore(context.Background(),
+		scalesim.DefaultConfig(), exampleTopology(), space,
+		scalesim.WithObjectives(scalesim.CyclesObjective(), scalesim.UtilizationObjective()),
+		scalesim.WithSearchStrategy(scalesim.GridSearch),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated %d candidates, %d on the frontier\n",
+		frontier.Evaluated, len(frontier.Points))
+	for _, p := range frontier.Points {
+		fmt.Printf("%s: %.0f cycles, %.1f%% utilized\n",
+			p.Name, p.Objectives[0], 100*p.Objectives[1])
+	}
+	// Output:
+	// evaluated 4 candidates, 2 on the frontier
+	// array=32,dataflow=os: 1204 cycles, 45.8% utilized
+	// array=16,dataflow=os: 3224 cycles, 68.5% utilized
+}
+
 // ExampleWithCache attaches a layer-result cache: a repeated-shape
 // topology simulates each distinct shape once, and a second run is served
 // entirely from the cache.

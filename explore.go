@@ -1,0 +1,583 @@
+package scalesim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"scalesim/internal/explore"
+	"scalesim/internal/report"
+)
+
+// Design-space exploration: declare a parameter Space over Config knobs,
+// one or more Objectives over run results, and a search strategy; Explore
+// funnels candidates through Sweep batches sharing one layer-result cache
+// and returns the exact multi-objective Pareto frontier.
+//
+//	space, _ := scalesim.ParseSpace("array=16..128:pow2; dataflow=os,ws,is")
+//	frontier, err := scalesim.Explore(ctx, scalesim.DefaultConfig(), topo, space,
+//		scalesim.WithObjectives(scalesim.CyclesObjective(), scalesim.EnergyObjective()),
+//		scalesim.WithEvalBudget(64), scalesim.WithSeed(1))
+//	frontier.WriteAll("out") // FRONTIER.csv + FRONTIER.json
+//
+// Exploration is deterministic: a fixed seed yields a byte-identical
+// frontier at any parallelism.
+
+// Re-exported exploration types, so callers need only this package.
+type (
+	// Axis is one dimension of a design space. Build axes with
+	// IntRangeAxis, Pow2Axis, EnumAxis or ParseAxis.
+	Axis = explore.Axis
+	// Space is an ordered list of axes spanning the design space.
+	Space = explore.Space
+	// Candidate selects one setting per space axis, by value index.
+	Candidate = explore.Candidate
+	// Searcher generates candidates through an ask/tell loop. The
+	// built-in strategies are selected with WithSearchStrategy; a custom
+	// implementation can be injected with WithSearcher.
+	Searcher = explore.Strategy
+)
+
+// IntRangeAxis returns an integer axis enumerating lo, lo+step, ..., ≤ hi;
+// apply writes the chosen value into the candidate configuration.
+func IntRangeAxis(name string, lo, hi, step int, apply func(*Config, int)) (Axis, error) {
+	return explore.IntRange(name, lo, hi, step, apply)
+}
+
+// Pow2Axis returns an integer axis enumerating the powers of two in
+// [lo, hi].
+func Pow2Axis(name string, lo, hi int, apply func(*Config, int)) (Axis, error) {
+	return explore.Pow2(name, lo, hi, apply)
+}
+
+// EnumAxis returns an axis over an explicit list of string settings.
+func EnumAxis(name string, values []string, apply func(*Config, string)) (Axis, error) {
+	return explore.Enum(name, values, apply)
+}
+
+// ParseAxis parses one "knob=domain" axis spec over the registered
+// configuration knobs — "array=8..128:pow2", "dataflow=os,ws",
+// "channels=1..8:pow2", "dram_tech=DDR4,HBM2", "sparsity=dense,2:4" — see
+// KnownAxisNames for the knob registry.
+func ParseAxis(spec string) (Axis, error) { return explore.ParseAxis(spec) }
+
+// ParseSpace parses a semicolon-separated list of axis specs.
+func ParseSpace(spec string) (Space, error) { return explore.ParseSpace(spec) }
+
+// KnownAxisNames lists the configuration knobs ParseAxis understands.
+func KnownAxisNames() []string { return explore.KnownAxisNames() }
+
+// Objective is one scalar exploration metric extracted from a Result.
+// Objectives are minimized unless Maximize is set; the frontier reports
+// raw values either way.
+type Objective struct {
+	// Name labels the objective in FRONTIER.csv and progress output.
+	Name string
+	// Maximize flips the sense for dominance comparisons.
+	Maximize bool
+	// Fn extracts the metric from a finished run.
+	Fn func(*Result) float64
+}
+
+// CyclesObjective minimizes total runtime cycles (with stalls).
+func CyclesObjective() Objective {
+	return Objective{Name: "cycles", Fn: func(r *Result) float64 { return float64(r.TotalCycles()) }}
+}
+
+// EnergyObjective minimizes total energy in mJ. It reads 0 unless energy
+// modeling is enabled in the candidate configurations.
+func EnergyObjective() Objective {
+	return Objective{Name: "energy_mj", Fn: func(r *Result) float64 { return r.TotalEnergyMJ() }}
+}
+
+// EDPObjective minimizes the energy-delay product (cycle·mJ), the paper's
+// Table V metric. Requires energy modeling, like EnergyObjective.
+func EDPObjective() Objective {
+	return Objective{Name: "edp", Fn: func(r *Result) float64 { return r.Summary().EDP }}
+}
+
+// DRAMTrafficObjective minimizes main-memory traffic in bytes.
+func DRAMTrafficObjective() Objective {
+	return Objective{Name: "dram_bytes", Fn: func(r *Result) float64 { return float64(r.Summary().TotalDRAMBytes) }}
+}
+
+// UtilizationObjective maximizes the compute-cycle-weighted mean PE
+// utilization.
+func UtilizationObjective() Objective {
+	return Objective{Name: "utilization", Maximize: true,
+		Fn: func(r *Result) float64 { return r.Summary().AvgUtilization }}
+}
+
+// ParseObjectives parses a comma-separated objective list ("cycles",
+// "energy", "edp", "dram", "utilization") for the CLI.
+func ParseObjectives(s string) ([]Objective, error) {
+	var out []Objective
+	for _, name := range splitCommaList(s) {
+		switch name {
+		case "cycles":
+			out = append(out, CyclesObjective())
+		case "energy", "energy_mj":
+			out = append(out, EnergyObjective())
+		case "edp":
+			out = append(out, EDPObjective())
+		case "dram", "dram_bytes":
+			out = append(out, DRAMTrafficObjective())
+		case "utilization", "util":
+			out = append(out, UtilizationObjective())
+		default:
+			return nil, fmt.Errorf("scalesim: unknown objective %q (valid: cycles, energy, edp, dram, utilization)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scalesim: empty objective list")
+	}
+	return out, nil
+}
+
+// SearchStrategy names a built-in candidate-generation strategy.
+type SearchStrategy string
+
+const (
+	// GridSearch enumerates the whole space exhaustively.
+	GridSearch SearchStrategy = "grid"
+	// RandomSearch draws seeded uniform samples without replacement.
+	RandomSearch SearchStrategy = "random"
+	// EvolutionSearch mutates the current Pareto set, topped up with
+	// random samples — adaptive hill climbing toward the frontier.
+	EvolutionSearch SearchStrategy = "evolve"
+	// AutoSearch picks GridSearch when the space fits in the evaluation
+	// budget and RandomSearch otherwise. The default.
+	AutoSearch SearchStrategy = "auto"
+)
+
+// ExploreProgress reports one evaluated candidate to a WithExploreProgress
+// callback.
+type ExploreProgress struct {
+	Generation int    // 1-based batch number
+	Evaluated  int    // candidates finished so far, including this one
+	Budget     int    // maximum evaluations for the search
+	Point      string // candidate label ("array=32,dataflow=ws")
+	Err        error  // non-nil when the candidate was infeasible
+}
+
+// exploreOptions collects the Explore tunables.
+type exploreOptions struct {
+	objectives  []Objective
+	strategy    SearchStrategy
+	searcher    Searcher
+	budget      int
+	batch       int
+	seed        int64
+	parallelism int
+	cache       *Cache
+	progress    func(ExploreProgress)
+}
+
+// ExploreOption configures one Explore call.
+type ExploreOption func(*exploreOptions)
+
+// WithObjectives sets the exploration objectives (default: CyclesObjective
+// alone). Objective names must be unique.
+func WithObjectives(objs ...Objective) ExploreOption {
+	return func(o *exploreOptions) {
+		if len(objs) > 0 {
+			o.objectives = objs
+		}
+	}
+}
+
+// WithSearchStrategy selects a built-in search strategy (default
+// AutoSearch).
+func WithSearchStrategy(s SearchStrategy) ExploreOption {
+	return func(o *exploreOptions) { o.strategy = s }
+}
+
+// WithSearcher injects a custom candidate-generation strategy, overriding
+// WithSearchStrategy.
+func WithSearcher(s Searcher) ExploreOption {
+	return func(o *exploreOptions) { o.searcher = s }
+}
+
+// WithEvalBudget bounds the search to at most n candidate evaluations
+// (default 256). Infeasible candidates count: the budget bounds simulation
+// work, not frontier size.
+func WithEvalBudget(n int) ExploreOption {
+	return func(o *exploreOptions) {
+		if n > 0 {
+			o.budget = n
+		}
+	}
+}
+
+// WithBatchSize sets how many candidates are evaluated per Sweep batch —
+// the generation size of adaptive strategies (default 8).
+func WithBatchSize(n int) ExploreOption {
+	return func(o *exploreOptions) {
+		if n > 0 {
+			o.batch = n
+		}
+	}
+}
+
+// WithSeed seeds the stochastic strategies (default 1). A fixed seed makes
+// the whole exploration deterministic at any parallelism.
+func WithSeed(seed int64) ExploreOption {
+	return func(o *exploreOptions) { o.seed = seed }
+}
+
+// WithExploreParallelism bounds the worker pool each evaluation batch runs
+// on (default GOMAXPROCS), like WithParallelism for Sweep.
+func WithExploreParallelism(n int) ExploreOption {
+	return func(o *exploreOptions) { o.parallelism = n }
+}
+
+// WithExploreCache shares an existing layer-result cache with the search.
+// By default every Explore call creates a private cache with default
+// bounds; passing one in lets repeated explorations (or surrounding Run
+// and Sweep calls) reuse each other's simulations.
+func WithExploreCache(c *Cache) ExploreOption {
+	return func(o *exploreOptions) { o.cache = c }
+}
+
+// WithExploreProgress registers a callback invoked once per evaluated
+// candidate. Callbacks are serialized but arrive in completion order
+// within a batch.
+func WithExploreProgress(fn func(ExploreProgress)) ExploreOption {
+	return func(o *exploreOptions) { o.progress = fn }
+}
+
+// FrontierPoint is one non-dominated design of a Frontier.
+type FrontierPoint struct {
+	// Name is the candidate label, "axis=value,..." in axis order.
+	Name string
+	// Config is the fully materialized configuration of the design.
+	Config Config
+	// AxisValues are the per-axis settings, in space-axis order.
+	AxisValues []string
+	// Objectives are the raw objective values, in objective order
+	// (maximize objectives are not negated here).
+	Objectives []float64
+	// Result is the full simulation result of the design.
+	Result *Result
+}
+
+// Frontier is the outcome of an exploration: the Pareto-optimal designs
+// under the declared objectives, plus search accounting.
+type Frontier struct {
+	// AxisNames and ObjectiveNames give the column order of the points.
+	AxisNames      []string
+	ObjectiveNames []string
+	// Points are the non-dominated designs, sorted by objective values
+	// (minimization sense, then name) for deterministic output.
+	Points []FrontierPoint
+	// Strategy and Seed record how the search ran.
+	Strategy string
+	Seed     int64
+	// Evaluated counts simulated candidates; Infeasible counts the subset
+	// whose configuration was rejected or whose simulation failed.
+	Evaluated  int
+	Infeasible int
+	// CacheStats aggregates layer-cache hits and misses across every
+	// evaluation of the search.
+	CacheStats RunCacheStats
+}
+
+// Canonical frontier file names.
+const (
+	FrontierCSVFile  = "FRONTIER.csv"
+	FrontierJSONFile = "FRONTIER.json"
+)
+
+// CSVReport renders the frontier as FRONTIER.csv in the ReportSet style.
+func (f *Frontier) CSVReport() *Report {
+	rows := make([]report.FrontierRow, len(f.Points))
+	for i, p := range f.Points {
+		rows[i] = report.FrontierRow{Name: p.Name, AxisValues: p.AxisValues, Objectives: p.Objectives}
+	}
+	return &Report{name: FrontierCSVFile, write: func(w io.Writer) error {
+		return report.WriteFrontier(w, f.AxisNames, f.ObjectiveNames, rows)
+	}}
+}
+
+// frontierJSON is the stable JSON shape of a frontier.
+type frontierJSON struct {
+	Strategy   string              `json:"strategy"`
+	Seed       int64               `json:"seed"`
+	Evaluated  int                 `json:"evaluated"`
+	Infeasible int                 `json:"infeasible"`
+	Axes       []string            `json:"axes"`
+	Objectives []string            `json:"objectives"`
+	Points     []frontierPointJSON `json:"points"`
+}
+
+type frontierPointJSON struct {
+	Name       string    `json:"name"`
+	Axes       []string  `json:"axes"`
+	Objectives []float64 `json:"objectives"`
+}
+
+// JSONReport renders the frontier as FRONTIER.json.
+func (f *Frontier) JSONReport() *Report {
+	return &Report{name: FrontierJSONFile, write: func(w io.Writer) error {
+		out := frontierJSON{
+			Strategy:   f.Strategy,
+			Seed:       f.Seed,
+			Evaluated:  f.Evaluated,
+			Infeasible: f.Infeasible,
+			Axes:       f.AxisNames,
+			Objectives: f.ObjectiveNames,
+			Points:     make([]frontierPointJSON, len(f.Points)),
+		}
+		for i, p := range f.Points {
+			out.Points[i] = frontierPointJSON{Name: p.Name, Axes: p.AxisValues, Objectives: p.Objectives}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}}
+}
+
+// WriteAll writes FRONTIER.csv and FRONTIER.json into dir, creating it if
+// needed.
+func (f *Frontier) WriteAll(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range []*Report{f.CSVReport(), f.JSONReport()} {
+		w, err := os.Create(filepath.Join(dir, r.Filename()))
+		if err != nil {
+			return err
+		}
+		_, werr := r.WriteTo(w)
+		if cerr := w.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// evaluation records one feasible candidate's outcome during a search.
+type evaluation struct {
+	label  string
+	cfg    Config
+	values []string  // per-axis settings, in axis order
+	raw    []float64 // objective values as reported
+	keys   []float64 // minimization-sense keys for dominance
+	result *Result
+}
+
+// Explore searches the design space spanned by space around the base
+// configuration, simulating candidates on topo in Sweep batches that share
+// one layer-result cache (so neighboring candidates re-simulate only
+// changed layers), and returns the exact Pareto frontier under the
+// declared objectives.
+//
+// The search is budget-bounded (WithEvalBudget) and cancellable: on
+// context cancellation Explore returns the frontier of the batches that
+// completed together with the context's error. Candidates whose
+// configuration fails validation or whose simulation errors are counted as
+// infeasible and excluded from the frontier — adaptive strategies steer
+// away from them. For a fixed seed the result is byte-identical through
+// the CSV/JSON writers at any parallelism.
+func Explore(ctx context.Context, base Config, topo *Topology, space Space, opts ...ExploreOption) (*Frontier, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := exploreOptions{
+		objectives: []Objective{CyclesObjective()},
+		strategy:   AutoSearch,
+		budget:     256,
+		batch:      8,
+		seed:       1,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(o.objectives))
+	for _, obj := range o.objectives {
+		if obj.Name == "" || obj.Fn == nil {
+			return nil, fmt.Errorf("scalesim: objective with empty name or nil Fn")
+		}
+		if seen[obj.Name] {
+			return nil, fmt.Errorf("scalesim: duplicate objective %q", obj.Name)
+		}
+		seen[obj.Name] = true
+	}
+	strat := o.searcher
+	if strat == nil {
+		var err error
+		strat, err = explore.NewStrategy(string(o.strategy), space, o.seed, o.budget)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cache := o.cache
+	if cache == nil {
+		cache = NewCache(0, 0)
+	}
+
+	f := &Frontier{
+		AxisNames: space.Names(),
+		Strategy:  strat.Name(),
+		Seed:      o.seed,
+	}
+	for _, obj := range o.objectives {
+		f.ObjectiveNames = append(f.ObjectiveNames, obj.Name)
+	}
+
+	var evals []evaluation
+	infKeys := make([]float64, len(o.objectives))
+	for i := range infKeys {
+		infKeys[i] = math.Inf(1)
+	}
+	for gen := 1; f.Evaluated < o.budget; gen++ {
+		if err := ctx.Err(); err != nil {
+			finishFrontier(f, evals)
+			return f, err
+		}
+		n := o.budget - f.Evaluated
+		if n > o.batch {
+			n = o.batch
+		}
+		cands := strat.Ask(n)
+		if len(cands) == 0 {
+			break // space exhausted
+		}
+		batchBase := f.Evaluated
+		keys := make([][]float64, len(cands))
+
+		// Materialize candidates; workload-axis failures are infeasible
+		// without simulating.
+		pts := make([]SweepPoint, 0, len(cands))
+		ptCand := make([]int, 0, len(cands)) // sweep point -> candidate index
+		labels := make([]string, len(cands))
+		cfgs := make([]Config, len(cands))
+		preFailed := 0
+		for i, c := range cands {
+			labels[i] = space.Label(c)
+			cfgs[i] = space.Apply(base, c)
+			cfgs[i].RunName = labels[i]
+			pt, err := space.ApplyTopology(topo, c)
+			if err != nil {
+				keys[i] = infKeys
+				f.Infeasible++
+				preFailed++
+				if o.progress != nil {
+					o.progress(ExploreProgress{Generation: gen, Evaluated: batchBase + preFailed,
+						Budget: o.budget, Point: labels[i], Err: err})
+				}
+				continue
+			}
+			pts = append(pts, SweepPoint{Name: labels[i], Config: cfgs[i], Topology: pt})
+			ptCand = append(ptCand, i)
+		}
+
+		sweepOpts := []Option{WithParallelism(o.parallelism), WithCache(cache)}
+		if o.progress != nil {
+			evalBase, fn, g := batchBase+preFailed, o.progress, gen
+			sweepOpts = append(sweepOpts, WithSweepProgress(func(p SweepPointProgress) {
+				fn(ExploreProgress{Generation: g, Evaluated: evalBase + p.Done,
+					Budget: o.budget, Point: p.Point, Err: p.Err})
+			}))
+		}
+		results, err := Sweep(ctx, pts, sweepOpts...)
+		if err != nil {
+			// Cancelled mid-batch: the batch is discarded so the partial
+			// frontier stays deterministic.
+			finishFrontier(f, evals)
+			return f, err
+		}
+		for pi, sr := range results {
+			ci := ptCand[pi]
+			if sr.Err != nil {
+				keys[ci] = infKeys
+				f.Infeasible++
+				continue
+			}
+			f.CacheStats.Hits += sr.Result.CacheStats.Hits
+			f.CacheStats.Misses += sr.Result.CacheStats.Misses
+			raw := make([]float64, len(o.objectives))
+			k := make([]float64, len(o.objectives))
+			feasible := true
+			for oi, obj := range o.objectives {
+				v := obj.Fn(sr.Result)
+				raw[oi] = v
+				if math.IsNaN(v) {
+					feasible = false
+					break
+				}
+				if obj.Maximize {
+					v = -v
+				}
+				k[oi] = v
+			}
+			if !feasible {
+				keys[ci] = infKeys
+				f.Infeasible++
+				continue
+			}
+			keys[ci] = k
+			evals = append(evals, evaluation{
+				label: sr.Point.Name, cfg: cfgs[ci], values: space.Values(cands[ci]),
+				raw: raw, keys: k, result: sr.Result,
+			})
+		}
+		strat.Tell(cands, keys)
+		f.Evaluated += len(cands)
+	}
+	finishFrontier(f, evals)
+	return f, nil
+}
+
+// finishFrontier extracts the exact Pareto set from the feasible
+// evaluations, prunes dominated points and sorts the survivors (by
+// minimization-sense objective keys, then name) for deterministic output.
+func finishFrontier(f *Frontier, evals []evaluation) {
+	vecs := make([][]float64, len(evals))
+	for i := range evals {
+		vecs[i] = evals[i].keys
+	}
+	front := explore.ParetoIndices(vecs)
+	sort.SliceStable(front, func(a, b int) bool {
+		ea, eb := &evals[front[a]], &evals[front[b]]
+		for k := range ea.keys {
+			if ea.keys[k] != eb.keys[k] {
+				return ea.keys[k] < eb.keys[k]
+			}
+		}
+		return ea.label < eb.label
+	})
+	f.Points = f.Points[:0]
+	for _, i := range front {
+		e := &evals[i]
+		f.Points = append(f.Points, FrontierPoint{
+			Name:       e.label,
+			Config:     e.cfg,
+			AxisValues: e.values,
+			Objectives: e.raw,
+			Result:     e.result,
+		})
+	}
+}
+
+func splitCommaList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.ToLower(strings.TrimSpace(part)); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -8,6 +8,8 @@ package config
 import (
 	"fmt"
 	"strings"
+
+	"scalesim/internal/dram"
 )
 
 // Dataflow selects how the GEMM is mapped onto the systolic array.
@@ -46,7 +48,7 @@ func ParseDataflow(s string) (Dataflow, error) {
 	case "is", "input_stationary", "inputstationary":
 		return InputStationary, nil
 	}
-	return 0, fmt.Errorf("config: unknown dataflow %q", s)
+	return 0, fmt.Errorf("config: Dataflow: unknown dataflow %q (valid: os, ws, is)", s)
 }
 
 // Dataflows lists all three classic dataflows in a stable order.
@@ -91,7 +93,7 @@ func ParseSparseFormat(s string) (SparseFormat, error) {
 	case "csc":
 		return CSC, nil
 	}
-	return 0, fmt.Errorf("config: unknown sparse format %q", s)
+	return 0, fmt.Errorf("config: SparseRep: unknown sparse format %q (valid: ellpack_block, csr, csc)", s)
 }
 
 // SparsityConfig is the v3 "sparsity" configuration section.
@@ -107,6 +109,27 @@ type SparsityConfig struct {
 	BlockSize int
 	// Seed makes randomized row-wise sparsity deterministic.
 	Seed int64
+}
+
+// DRAMTechnologies lists the canonical DRAM technology preset names the
+// memory model understands, in a stable order.
+func DRAMTechnologies() []string { return dram.TechNames() }
+
+// ParseDRAMTech normalizes a DRAM technology name ("ddr4", "DDR4-2400",
+// "hbm") to its canonical preset name, rejecting names the memory model
+// does not know — so Validate catches a bad technology before a
+// simulation is attempted (design-space exploration generates
+// configurations programmatically and wants early, field-named errors).
+// The empty string selects the DDR4 default, mirroring the memory model.
+// Name resolution is delegated to internal/dram so the two can never
+// drift.
+func ParseDRAMTech(s string) (string, error) {
+	t, err := dram.TechByName(s)
+	if err != nil {
+		return "", fmt.Errorf("config: Memory.Technology: unknown DRAM technology %q (valid: %s)",
+			s, strings.Join(DRAMTechnologies(), ", "))
+	}
+	return t.Name, nil
 }
 
 // MemoryConfig is the v3 main-memory integration section.
@@ -192,7 +215,7 @@ func ParsePartitionStrategy(s string) (PartitionStrategy, error) {
 	case "spatiotemporal2", "st2":
 		return SpatioTemporal2, nil
 	}
-	return 0, fmt.Errorf("config: unknown partition strategy %q", s)
+	return 0, fmt.Errorf("config: MultiCore.Strategy: unknown partition strategy %q (valid: spatial, spatiotemporal1, spatiotemporal2)", s)
 }
 
 // CoreSpec describes one tensor core: a systolic array plus a SIMD unit.
@@ -329,54 +352,82 @@ func EyerissLike() Config {
 	return c
 }
 
-// Validate reports a descriptive error for the first invalid field.
+// Validate reports a descriptive error for the first invalid field. Every
+// error names the offending field and the value it carried, so callers
+// that generate configurations programmatically (sweeps, the design-space
+// explorer) surface actionable messages instead of re-deriving which knob
+// was out of range.
 func (c *Config) Validate() error {
-	if c.ArrayRows <= 0 || c.ArrayCols <= 0 {
-		return fmt.Errorf("config: non-positive array %dx%d", c.ArrayRows, c.ArrayCols)
+	fieldErr := func(field string, format string, args ...any) error {
+		return fmt.Errorf("config: %s: %s", field, fmt.Sprintf(format, args...))
 	}
-	if c.IfmapSRAMKB < 0 || c.FilterSRAMKB < 0 || c.OfmapSRAMKB < 0 {
-		return fmt.Errorf("config: negative SRAM size")
+	if c.ArrayRows <= 0 {
+		return fieldErr("ArrayRows", "must be positive, got %d", c.ArrayRows)
+	}
+	if c.ArrayCols <= 0 {
+		return fieldErr("ArrayCols", "must be positive, got %d", c.ArrayCols)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"IfmapSRAMKB", c.IfmapSRAMKB}, {"FilterSRAMKB", c.FilterSRAMKB}, {"OfmapSRAMKB", c.OfmapSRAMKB}} {
+		if f.v < 0 {
+			return fieldErr(f.name, "must not be negative, got %d", f.v)
+		}
 	}
 	if c.BandwidthWords <= 0 {
-		return fmt.Errorf("config: non-positive bandwidth %d", c.BandwidthWords)
+		return fieldErr("BandwidthWords", "must be positive, got %d", c.BandwidthWords)
 	}
 	if c.WordBytes <= 0 {
-		return fmt.Errorf("config: non-positive word size %d", c.WordBytes)
+		return fieldErr("WordBytes", "must be positive, got %d", c.WordBytes)
+	}
+	if d := c.Dataflow; d != OutputStationary && d != WeightStationary && d != InputStationary {
+		return fieldErr("Dataflow", "unknown dataflow %d (valid: os, ws, is)", int(d))
 	}
 	if c.Sparsity.Enabled {
 		if c.Sparsity.BlockSize < 0 {
-			return fmt.Errorf("config: negative sparsity block size %d", c.Sparsity.BlockSize)
+			return fieldErr("Sparsity.BlockSize", "must not be negative, got %d", c.Sparsity.BlockSize)
 		}
 		if c.Sparsity.OptimizedMapping && c.Sparsity.BlockSize == 0 {
-			return fmt.Errorf("config: row-wise sparsity (OptimizedMapping) needs BlockSize")
+			return fieldErr("Sparsity.BlockSize", "row-wise sparsity (OptimizedMapping) needs a positive BlockSize")
 		}
 	}
 	if c.Memory.Enabled {
-		if c.Memory.Channels <= 0 {
-			return fmt.Errorf("config: non-positive DRAM channel count %d", c.Memory.Channels)
+		if _, err := ParseDRAMTech(c.Memory.Technology); err != nil {
+			return err
 		}
-		if c.Memory.ReadQueueDepth <= 0 || c.Memory.WriteQueueDepth <= 0 {
-			return fmt.Errorf("config: non-positive memory request queue depth")
+		if c.Memory.Channels <= 0 {
+			return fieldErr("Memory.Channels", "must be positive, got %d", c.Memory.Channels)
+		}
+		if c.Memory.ReadQueueDepth <= 0 {
+			return fieldErr("Memory.ReadQueueDepth", "must be positive, got %d", c.Memory.ReadQueueDepth)
+		}
+		if c.Memory.WriteQueueDepth <= 0 {
+			return fieldErr("Memory.WriteQueueDepth", "must be positive, got %d", c.Memory.WriteQueueDepth)
 		}
 	}
 	if c.Layout.Enabled {
 		if c.Layout.Banks <= 0 {
-			return fmt.Errorf("config: non-positive bank count %d", c.Layout.Banks)
+			return fieldErr("Layout.Banks", "must be positive, got %d", c.Layout.Banks)
 		}
 		if c.Layout.PortsPerBank <= 0 {
-			return fmt.Errorf("config: non-positive ports per bank %d", c.Layout.PortsPerBank)
+			return fieldErr("Layout.PortsPerBank", "must be positive, got %d", c.Layout.PortsPerBank)
 		}
 		if c.Layout.OnChipBandwidth <= 0 {
-			return fmt.Errorf("config: non-positive on-chip bandwidth %d", c.Layout.OnChipBandwidth)
+			return fieldErr("Layout.OnChipBandwidth", "must be positive, got %d", c.Layout.OnChipBandwidth)
 		}
 	}
 	if c.MultiCore.Enabled {
-		if c.MultiCore.PartitionRows < 0 || c.MultiCore.PartitionCols < 0 {
-			return fmt.Errorf("config: negative partition grid")
+		if c.MultiCore.PartitionRows < 0 {
+			return fieldErr("MultiCore.PartitionRows", "must not be negative, got %d", c.MultiCore.PartitionRows)
+		}
+		if c.MultiCore.PartitionCols < 0 {
+			return fieldErr("MultiCore.PartitionCols", "must not be negative, got %d", c.MultiCore.PartitionCols)
 		}
 		for i, core := range c.MultiCore.Cores {
 			if core.Rows <= 0 || core.Cols <= 0 {
-				return fmt.Errorf("config: core %d has non-positive array %dx%d", i, core.Rows, core.Cols)
+				return fieldErr(fmt.Sprintf("MultiCore.Cores[%d]", i),
+					"non-positive array %dx%d", core.Rows, core.Cols)
 			}
 		}
 	}

@@ -3,7 +3,27 @@ package config
 import (
 	"strings"
 	"testing"
+
+	"scalesim/internal/dram"
 )
+
+// TestDRAMTechnologiesMatchMemoryModel pins the contract that validation
+// and the memory model agree on technology names (resolution is delegated
+// to internal/dram; this guards against a separate list ever coming back):
+// every name config accepts must resolve in internal/dram, and every dram
+// preset must validate here.
+func TestDRAMTechnologiesMatchMemoryModel(t *testing.T) {
+	for _, name := range DRAMTechnologies() {
+		if _, err := dram.TechByName(name); err != nil {
+			t.Errorf("config accepts %q but the memory model rejects it: %v", name, err)
+		}
+	}
+	for _, name := range dram.TechNames() {
+		if _, err := ParseDRAMTech(name); err != nil {
+			t.Errorf("memory model offers %q but config rejects it: %v", name, err)
+		}
+	}
+}
 
 func TestDefaultValidates(t *testing.T) {
 	for name, cfg := range map[string]Config{
@@ -173,6 +193,136 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("mutation %d accepted", i)
 		}
+	}
+}
+
+// TestValidateNamesFieldAndValue pins the error-message contract the
+// design-space explorer relies on: every Validate error names the
+// offending field and the value it carried.
+func TestValidateNamesFieldAndValue(t *testing.T) {
+	cases := []struct {
+		name     string
+		mut      func(*Config)
+		wantSubs []string
+	}{
+		{"array rows", func(c *Config) { c.ArrayRows = -3 }, []string{"ArrayRows", "-3"}},
+		{"array cols", func(c *Config) { c.ArrayCols = 0 }, []string{"ArrayCols", "0"}},
+		{"ifmap sram", func(c *Config) { c.IfmapSRAMKB = -1 }, []string{"IfmapSRAMKB", "-1"}},
+		{"filter sram", func(c *Config) { c.FilterSRAMKB = -2 }, []string{"FilterSRAMKB", "-2"}},
+		{"ofmap sram", func(c *Config) { c.OfmapSRAMKB = -4 }, []string{"OfmapSRAMKB", "-4"}},
+		{"bandwidth", func(c *Config) { c.BandwidthWords = 0 }, []string{"BandwidthWords", "0"}},
+		{"word bytes", func(c *Config) { c.WordBytes = -8 }, []string{"WordBytes", "-8"}},
+		{"dataflow", func(c *Config) { c.Dataflow = Dataflow(7) }, []string{"Dataflow", "7"}},
+		{"sparsity block", func(c *Config) {
+			c.Sparsity.Enabled = true
+			c.Sparsity.BlockSize = -4
+		}, []string{"Sparsity.BlockSize", "-4"}},
+		{"dram tech", func(c *Config) {
+			c.Memory.Enabled = true
+			c.Memory.Technology = "SDRAM-66"
+		}, []string{"Memory.Technology", "SDRAM-66", "DDR4"}},
+		{"dram channels", func(c *Config) {
+			c.Memory.Enabled = true
+			c.Memory.Channels = -2
+		}, []string{"Memory.Channels", "-2"}},
+		{"read queue", func(c *Config) {
+			c.Memory.Enabled = true
+			c.Memory.ReadQueueDepth = 0
+		}, []string{"Memory.ReadQueueDepth", "0"}},
+		{"write queue", func(c *Config) {
+			c.Memory.Enabled = true
+			c.Memory.WriteQueueDepth = -1
+		}, []string{"Memory.WriteQueueDepth", "-1"}},
+		{"layout banks", func(c *Config) {
+			c.Layout.Enabled = true
+			c.Layout.Banks = 0
+		}, []string{"Layout.Banks", "0"}},
+		{"layout ports", func(c *Config) {
+			c.Layout.Enabled = true
+			c.Layout.PortsPerBank = -1
+		}, []string{"Layout.PortsPerBank", "-1"}},
+		{"layout bandwidth", func(c *Config) {
+			c.Layout.Enabled = true
+			c.Layout.OnChipBandwidth = 0
+		}, []string{"Layout.OnChipBandwidth", "0"}},
+		{"partition rows", func(c *Config) {
+			c.MultiCore.Enabled = true
+			c.MultiCore.PartitionRows = -1
+		}, []string{"MultiCore.PartitionRows", "-1"}},
+		{"core shape", func(c *Config) {
+			c.MultiCore.Enabled = true
+			c.MultiCore.Cores = []CoreSpec{{Rows: 16, Cols: 16}, {Rows: 0, Cols: 4}}
+		}, []string{"MultiCore.Cores[1]", "0x4"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := Default()
+			c.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("want error")
+			}
+			for _, sub := range c.wantSubs {
+				if !strings.Contains(err.Error(), sub) {
+					t.Errorf("error %q does not mention %q", err, sub)
+				}
+			}
+		})
+	}
+}
+
+func TestParseDRAMTech(t *testing.T) {
+	for in, want := range map[string]string{
+		"":          "DDR4",
+		"ddr4":      "DDR4",
+		"DDR4-2400": "DDR4",
+		"hbm":       "HBM2",
+		"HBM2_2000": "HBM2",
+		"lpddr4":    "LPDDR4",
+		"GDDR5":     "GDDR5",
+		"ddr3_1600": "DDR3",
+	} {
+		got, err := ParseDRAMTech(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDRAMTech(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	_, err := ParseDRAMTech("SDRAM-66")
+	if err == nil {
+		t.Fatal("unknown technology accepted")
+	}
+	for _, sub := range []string{"Memory.Technology", "SDRAM-66", "DDR3", "HBM2"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("error %q does not mention %q", err, sub)
+		}
+	}
+	// Every canonical name must round-trip.
+	for _, name := range DRAMTechnologies() {
+		if got, err := ParseDRAMTech(name); err != nil || got != name {
+			t.Errorf("canonical %q: %q, %v", name, got, err)
+		}
+	}
+}
+
+// TestParseErrorsNameFieldAndValue does the same for the enum parsers.
+func TestParseErrorsNameFieldAndValue(t *testing.T) {
+	if _, err := ParseDataflow("diagonal"); err == nil ||
+		!strings.Contains(err.Error(), "Dataflow") ||
+		!strings.Contains(err.Error(), "diagonal") ||
+		!strings.Contains(err.Error(), "os, ws, is") {
+		t.Errorf("dataflow error: %v", err)
+	}
+	if _, err := ParseSparseFormat("coo"); err == nil ||
+		!strings.Contains(err.Error(), "SparseRep") ||
+		!strings.Contains(err.Error(), "coo") ||
+		!strings.Contains(err.Error(), "csr") {
+		t.Errorf("sparse format error: %v", err)
+	}
+	if _, err := ParsePartitionStrategy("temporal"); err == nil ||
+		!strings.Contains(err.Error(), "MultiCore.Strategy") ||
+		!strings.Contains(err.Error(), "temporal") ||
+		!strings.Contains(err.Error(), "spatial") {
+		t.Errorf("partition strategy error: %v", err)
 	}
 }
 

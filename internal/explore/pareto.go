@@ -1,0 +1,43 @@
+package explore
+
+// Multi-objective Pareto extraction. All vectors are minimization keys:
+// the facade negates maximize-sense objectives before they get here, so
+// "smaller is better" holds component-wise throughout this file.
+
+// Dominates reports whether a dominates b: a is no worse in every
+// component and strictly better in at least one. Vectors must have equal
+// length. Equal vectors do not dominate each other.
+func Dominates(a, b []float64) bool {
+	better := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// ParetoIndices returns the indices of the non-dominated vectors, in input
+// order. Duplicated vectors are all kept (none dominates its copies); an
+// index whose vector is dominated by any other vector is pruned. The
+// O(n²) pairwise scan is exact — no incremental approximation — which is
+// what the brute-force-oracle tests pin down.
+func ParetoIndices(vecs [][]float64) []int {
+	var out []int
+	for i := range vecs {
+		dominated := false
+		for j := range vecs {
+			if j != i && Dominates(vecs[j], vecs[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}

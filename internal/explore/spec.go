@@ -1,0 +1,260 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scalesim/internal/config"
+	"scalesim/internal/topology"
+)
+
+// Axis-spec parsing for the CLI (and for callers who prefer strings over
+// constructors). A space spec is a semicolon-separated list of axis specs:
+//
+//	array=8..128:pow2; dataflow=os,ws,is; channels=1..8:pow2
+//
+// Each axis is `knob=domain` where knob is a registered configuration knob
+// (see KnownAxisNames) and domain is either an integer range
+// `lo..hi[:pow2|:stepN]`, an explicit integer list `1,2,6`, or — for enum
+// knobs — a comma-separated value list validated against the knob's legal
+// settings.
+
+// knobKind separates integer knobs from enum knobs.
+type knobKind int
+
+const (
+	knobInt knobKind = iota
+	knobEnum
+)
+
+// knobDef describes one nameable configuration knob.
+type knobDef struct {
+	canon string
+	kind  knobKind
+	// min is the smallest legal value of an integer knob.
+	min      int
+	applyInt func(*config.Config, int)
+	// validate vets one enum value; applyStr applies it.
+	validate func(string) error
+	applyStr func(*config.Config, string)
+	// applyTopo is set for workload-transforming knobs (sparsity).
+	applyTopo func(*topology.Topology, Value) (*topology.Topology, error)
+}
+
+// knobs maps knob names (including aliases) to definitions. Keys are the
+// spellings ParseAxis accepts, lower-case.
+var knobs = map[string]*knobDef{}
+
+func registerKnob(def *knobDef, aliases ...string) {
+	knobs[def.canon] = def
+	for _, a := range aliases {
+		knobs[a] = def
+	}
+}
+
+func init() {
+	registerKnob(&knobDef{canon: "array", kind: knobInt, min: 1, applyInt: func(c *config.Config, v int) {
+		c.ArrayRows, c.ArrayCols = v, v
+	}})
+	registerKnob(&knobDef{canon: "array_rows", kind: knobInt, min: 1, applyInt: func(c *config.Config, v int) {
+		c.ArrayRows = v
+	}}, "rows")
+	registerKnob(&knobDef{canon: "array_cols", kind: knobInt, min: 1, applyInt: func(c *config.Config, v int) {
+		c.ArrayCols = v
+	}}, "cols")
+	registerKnob(&knobDef{canon: "dataflow", kind: knobEnum,
+		validate: func(s string) error { _, err := config.ParseDataflow(s); return err },
+		applyStr: func(c *config.Config, s string) {
+			df, err := config.ParseDataflow(s)
+			if err == nil {
+				c.Dataflow = df
+			}
+		}})
+	registerKnob(&knobDef{canon: "dram_channels", kind: knobInt, min: 1, applyInt: func(c *config.Config, v int) {
+		c.Memory.Enabled = true
+		c.Memory.Channels = v
+	}}, "channels")
+	registerKnob(&knobDef{canon: "dram_tech", kind: knobEnum,
+		validate: func(s string) error { _, err := config.ParseDRAMTech(s); return err },
+		applyStr: func(c *config.Config, s string) {
+			if tech, err := config.ParseDRAMTech(s); err == nil {
+				c.Memory.Enabled = true
+				c.Memory.Technology = tech
+			}
+		}}, "dram")
+	registerKnob(&knobDef{canon: "ifmap_sram_kb", kind: knobInt, min: 1, applyInt: func(c *config.Config, v int) {
+		c.IfmapSRAMKB = v
+	}}, "ifmap_kb")
+	registerKnob(&knobDef{canon: "filter_sram_kb", kind: knobInt, min: 1, applyInt: func(c *config.Config, v int) {
+		c.FilterSRAMKB = v
+	}}, "filter_kb")
+	registerKnob(&knobDef{canon: "ofmap_sram_kb", kind: knobInt, min: 1, applyInt: func(c *config.Config, v int) {
+		c.OfmapSRAMKB = v
+	}}, "ofmap_kb")
+	registerKnob(&knobDef{canon: "sram_kb", kind: knobInt, min: 1, applyInt: func(c *config.Config, v int) {
+		c.IfmapSRAMKB, c.FilterSRAMKB, c.OfmapSRAMKB = v, v, v
+	}}, "sram")
+	registerKnob(&knobDef{canon: "bandwidth", kind: knobInt, min: 1, applyInt: func(c *config.Config, v int) {
+		c.BandwidthWords = v
+	}}, "bandwidth_words")
+	registerKnob(&knobDef{canon: "sparsity", kind: knobEnum,
+		validate: func(s string) error { _, err := topology.ParseSparsity(s); return err },
+		applyStr: func(c *config.Config, s string) {
+			sp, err := topology.ParseSparsity(s)
+			if err == nil && !sp.Dense() {
+				c.Sparsity.Enabled = true
+			}
+		},
+		applyTopo: func(t *topology.Topology, v Value) (*topology.Topology, error) {
+			sp, err := topology.ParseSparsity(v.Str)
+			if err != nil {
+				return nil, err
+			}
+			if sp.Dense() {
+				return t, nil
+			}
+			return t.WithSparsity(sp), nil
+		}})
+}
+
+// KnownAxisNames lists the canonical knob names ParseAxis accepts, sorted.
+func KnownAxisNames() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, def := range knobs {
+		if !seen[def.canon] {
+			seen[def.canon] = true
+			out = append(out, def.canon)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseSpace parses a semicolon-separated list of axis specs.
+func ParseSpace(spec string) (Space, error) {
+	var space Space
+	for _, part := range strings.Split(spec, ";") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		ax, err := ParseAxis(part)
+		if err != nil {
+			return nil, err
+		}
+		space = append(space, ax)
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	return space, nil
+}
+
+// ParseAxis parses one `knob=domain` axis spec.
+func ParseAxis(spec string) (Axis, error) {
+	spec = strings.TrimSpace(spec)
+	name, domain, ok := strings.Cut(spec, "=")
+	if !ok {
+		return Axis{}, fmt.Errorf("explore: axis spec %q: want knob=domain", spec)
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	domain = strings.TrimSpace(domain)
+	def, ok := knobs[name]
+	if !ok {
+		return Axis{}, fmt.Errorf("explore: unknown axis %q (known: %s)",
+			name, strings.Join(KnownAxisNames(), ", "))
+	}
+	if domain == "" {
+		return Axis{}, fmt.Errorf("explore: axis %s: empty domain", name)
+	}
+	switch def.kind {
+	case knobEnum:
+		values := splitList(domain)
+		for _, v := range values {
+			if err := def.validate(v); err != nil {
+				return Axis{}, fmt.Errorf("explore: axis %s: %w", def.canon, err)
+			}
+		}
+		ax, err := Enum(def.canon, values, def.applyStr)
+		if err != nil {
+			return Axis{}, err
+		}
+		ax.applyTopo = def.applyTopo
+		return ax, nil
+	default:
+		return parseIntDomain(def, domain)
+	}
+}
+
+// parseIntDomain parses `lo..hi[:pow2|:stepN]` or an explicit value list.
+func parseIntDomain(def *knobDef, domain string) (Axis, error) {
+	if lo, hi, ok := strings.Cut(domain, ".."); ok {
+		mode := ""
+		if hi2, m, ok := strings.Cut(hi, ":"); ok {
+			hi, mode = hi2, strings.ToLower(strings.TrimSpace(m))
+		}
+		loV, err := parseKnobInt(def, lo)
+		if err != nil {
+			return Axis{}, err
+		}
+		hiV, err := parseKnobInt(def, hi)
+		if err != nil {
+			return Axis{}, err
+		}
+		switch {
+		case mode == "pow2":
+			return Pow2(def.canon, loV, hiV, def.applyInt)
+		case mode == "":
+			return IntRange(def.canon, loV, hiV, 1, def.applyInt)
+		case strings.HasPrefix(mode, "step"):
+			step, err := strconv.Atoi(mode[len("step"):])
+			if err != nil {
+				return Axis{}, fmt.Errorf("explore: axis %s: invalid step %q", def.canon, mode)
+			}
+			return IntRange(def.canon, loV, hiV, step, def.applyInt)
+		default:
+			return Axis{}, fmt.Errorf("explore: axis %s: unknown range modifier %q (want :pow2 or :stepN)", def.canon, mode)
+		}
+	}
+	// Explicit value list: "1,2,6".
+	var vals []Value
+	seen := make(map[int]bool)
+	for _, s := range splitList(domain) {
+		v, err := parseKnobInt(def, s)
+		if err != nil {
+			return Axis{}, err
+		}
+		if seen[v] {
+			return Axis{}, fmt.Errorf("explore: axis %s: duplicate value %d", def.canon, v)
+		}
+		seen[v] = true
+		vals = append(vals, IntValue(v))
+	}
+	if len(vals) == 0 {
+		return Axis{}, fmt.Errorf("explore: axis %s: empty domain", def.canon)
+	}
+	return newIntAxis(def.canon, vals, def.applyInt), nil
+}
+
+func parseKnobInt(def *knobDef, s string) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("explore: axis %s: invalid integer %q", def.canon, s)
+	}
+	if v < def.min {
+		return 0, fmt.Errorf("explore: axis %s: value %d below minimum %d", def.canon, v, def.min)
+	}
+	return v, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

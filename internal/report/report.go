@@ -162,17 +162,97 @@ func WriteEnergy(w io.Writer, rows []EnergyRow) error {
 	return cw.Error()
 }
 
+// FrontierRow is one non-dominated design point of a FRONTIER report: the
+// point label, its per-axis settings and its objective values, in the
+// axis/objective order of the enclosing frontier.
+type FrontierRow struct {
+	Name       string
+	AxisValues []string
+	Objectives []float64
+}
+
+// WriteFrontier emits a Pareto frontier as CSV: a Point column, one column
+// per space axis and one per objective. Axis and objective names become
+// the header; every row must carry matching slice lengths.
+func WriteFrontier(w io.Writer, axisNames, objectiveNames []string, rows []FrontierRow) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, 1+len(axisNames)+len(objectiveNames))
+	header = append(header, "Point")
+	header = append(header, axisNames...)
+	header = append(header, objectiveNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if len(r.AxisValues) != len(axisNames) || len(r.Objectives) != len(objectiveNames) {
+			return fmt.Errorf("report: frontier row %q has %d axis values and %d objectives, want %d and %d",
+				r.Name, len(r.AxisValues), len(r.Objectives), len(axisNames), len(objectiveNames))
+		}
+		rec := make([]string, 0, len(header))
+		rec = append(rec, r.Name)
+		rec = append(rec, r.AxisValues...)
+		for _, v := range r.Objectives {
+			rec = append(rec, fmtF(v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 func fmtF(v float64) string {
 	return strconv.FormatFloat(v, 'f', 6, 64)
 }
 
-// Summary aggregates layer rows into run totals.
+// Summary aggregates layer rows into run totals. The first block is
+// accumulated directly from layer results; the derived block is filled by
+// Derive so that human-facing reports and machine objectives (the
+// design-space explorer) share one definition of each metric.
 type Summary struct {
 	TotalComputeCycles int64
 	TotalStallCycles   int64
 	TotalCycles        int64
 	TotalEnergyMJ      float64
 	AvgPowerMW         float64
+	// TotalMACs counts the dense multiply-accumulates of the workload
+	// (Σ M·N·K over layers); sparse runs skip some of them at runtime but
+	// the workload-defined count is what TOPS is quoted against.
+	TotalMACs int64
+	// TotalDRAMBytes is main-memory traffic in bytes (read + write).
+	TotalDRAMBytes int64
+	// AvgUtilization is the compute-cycle-weighted mean PE utilization.
+	AvgUtilization float64
+
+	// Derived scalars, filled by Derive.
+
+	// EDP is the energy-delay product in cycle·mJ (the paper's Table V
+	// metric), 0 when energy modeling was off.
+	EDP float64
+	// EffectiveTOPS is achieved tera-operations per second, counting one
+	// MAC as two ops, at the configured clock; 0 when the frequency or
+	// runtime is unknown.
+	EffectiveTOPS float64
+	// DRAMBytesPerMAC is main-memory traffic per dense MAC — the
+	// arithmetic-intensity inverse that flags memory-bound designs.
+	DRAMBytesPerMAC float64
+}
+
+// Derive fills the derived metrics (EDP, EffectiveTOPS, DRAMBytesPerMAC)
+// from the accumulated totals. freqMHz is the accelerator clock used to
+// convert cycles to time; non-positive leaves EffectiveTOPS at 0.
+func (s *Summary) Derive(freqMHz float64) {
+	s.EDP = float64(s.TotalCycles) * s.TotalEnergyMJ
+	s.EffectiveTOPS = 0
+	if freqMHz > 0 && s.TotalCycles > 0 {
+		secs := float64(s.TotalCycles) / (freqMHz * 1e6)
+		s.EffectiveTOPS = 2 * float64(s.TotalMACs) / secs * 1e-12
+	}
+	s.DRAMBytesPerMAC = 0
+	if s.TotalMACs > 0 {
+		s.DRAMBytesPerMAC = float64(s.TotalDRAMBytes) / float64(s.TotalMACs)
+	}
 }
 
 func (s Summary) String() string {

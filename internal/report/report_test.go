@@ -76,3 +76,95 @@ func TestSummaryString(t *testing.T) {
 		t.Errorf("summary: %q", got)
 	}
 }
+
+func TestSummaryDerive(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      Summary
+		freqMHz float64
+		want    Summary // derived fields only
+	}{
+		{
+			name: "all models on",
+			in: Summary{
+				TotalCycles: 1000, TotalEnergyMJ: 0.5,
+				TotalMACs: 2_000_000, TotalDRAMBytes: 4_000_000,
+			},
+			freqMHz: 1000, // 1000 cycles @ 1 GHz = 1 µs
+			want: Summary{
+				EDP: 500,
+				// 2·2e6 ops / 1e-6 s = 4e12 ops/s = 4 TOPS.
+				EffectiveTOPS:   4,
+				DRAMBytesPerMAC: 2,
+			},
+		},
+		{
+			name:    "energy off",
+			in:      Summary{TotalCycles: 100, TotalMACs: 100, TotalDRAMBytes: 50},
+			freqMHz: 1000,
+			want:    Summary{EDP: 0, EffectiveTOPS: 0.002, DRAMBytesPerMAC: 0.5},
+		},
+		{
+			name:    "unknown clock leaves TOPS zero",
+			in:      Summary{TotalCycles: 100, TotalMACs: 100, TotalEnergyMJ: 1},
+			freqMHz: 0,
+			want:    Summary{EDP: 100, EffectiveTOPS: 0, DRAMBytesPerMAC: 0},
+		},
+		{
+			name:    "empty run divides nothing",
+			in:      Summary{},
+			freqMHz: 1000,
+			want:    Summary{},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := c.in
+			s.Derive(c.freqMHz)
+			if s.EDP != c.want.EDP {
+				t.Errorf("EDP = %v, want %v", s.EDP, c.want.EDP)
+			}
+			if diff := s.EffectiveTOPS - c.want.EffectiveTOPS; diff > 1e-15 || diff < -1e-15 {
+				t.Errorf("EffectiveTOPS = %v, want %v", s.EffectiveTOPS, c.want.EffectiveTOPS)
+			}
+			if s.DRAMBytesPerMAC != c.want.DRAMBytesPerMAC {
+				t.Errorf("DRAMBytesPerMAC = %v, want %v", s.DRAMBytesPerMAC, c.want.DRAMBytesPerMAC)
+			}
+		})
+	}
+}
+
+func TestWriteFrontier(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFrontier(&buf,
+		[]string{"array", "dataflow"}, []string{"cycles", "energy_mj"},
+		[]FrontierRow{
+			{Name: "array=16,dataflow=os", AxisValues: []string{"16", "os"}, Objectives: []float64{1204, 0.25}},
+			{Name: "array=32,dataflow=ws", AxisValues: []string{"32", "ws"}, Objectives: []float64{900, 0.5}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows: %v", rows)
+	}
+	wantHeader := []string{"Point", "array", "dataflow", "cycles", "energy_mj"}
+	for i, h := range wantHeader {
+		if rows[0][i] != h {
+			t.Errorf("header[%d] = %q, want %q", i, rows[0][i], h)
+		}
+	}
+	if rows[1][1] != "16" || rows[1][3] != "1204.000000" || rows[2][2] != "ws" {
+		t.Errorf("rows: %v", rows)
+	}
+}
+
+func TestWriteFrontierShapeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFrontier(&buf, []string{"array"}, []string{"cycles"},
+		[]FrontierRow{{Name: "p", AxisValues: []string{"16", "extra"}, Objectives: []float64{1}}})
+	if err == nil {
+		t.Error("mismatched axis values: want error")
+	}
+}

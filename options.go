@@ -4,11 +4,12 @@ import "scalesim/internal/energy"
 
 // options collects the tunables shared by New, Run and Sweep.
 type options struct {
-	ert         *energy.ERT
-	parallelism int
-	progress    func(LayerProgress)
-	stages      []Stage
-	cache       *Cache
+	ert           *energy.ERT
+	parallelism   int
+	progress      func(LayerProgress)
+	sweepProgress func(SweepPointProgress)
+	stages        []Stage
+	cache         *Cache
 }
 
 func defaultOptions() options {
@@ -53,6 +54,26 @@ type LayerProgress struct {
 // order, which under parallelism is not topology order.
 func WithProgress(fn func(LayerProgress)) Option {
 	return func(o *options) { o.progress = fn }
+}
+
+// SweepPointProgress reports one finished sweep point to a
+// WithSweepProgress callback.
+type SweepPointProgress struct {
+	Index int    // point position within the input slice
+	Total int    // points in the sweep
+	Point string // point name
+	Done  int    // points finished so far in this sweep, including this one
+	Err   error  // non-nil when the point failed
+}
+
+// WithSweepProgress registers a callback invoked once per finished sweep
+// point — the point-level done/total signal that per-layer WithProgress
+// cannot provide. Callbacks are serialized (never concurrent) but arrive
+// in completion order, which under parallelism is not input order. Points
+// never dispatched because the context was cancelled produce no callback.
+// Run ignores this option.
+func WithSweepProgress(fn func(SweepPointProgress)) Option {
+	return func(o *options) { o.sweepProgress = fn }
 }
 
 // WithStages replaces the per-layer model pipeline. The default is

@@ -49,6 +49,18 @@
 // cached and uncached runs produce byte-identical reports. WithSharedCache
 // selects a process-wide cache, and Result.CacheStats / Cache.Stats expose
 // hit rates and occupancy.
+//
+// Explore automates the what-if loop: declare a parameter Space over
+// configuration knobs, one or more Objectives, and a seeded search
+// strategy, and receive the exact multi-objective Pareto Frontier —
+// candidates are evaluated in Sweep batches behind one cache, and a fixed
+// seed yields a byte-identical frontier at any parallelism:
+//
+//	space, _ := scalesim.ParseSpace("array=16..128:pow2; dataflow=os,ws,is")
+//	frontier, err := scalesim.Explore(ctx, cfg, topo, space,
+//		scalesim.WithObjectives(scalesim.CyclesObjective(), scalesim.EnergyObjective()),
+//		scalesim.WithEvalBudget(64))
+//	err = frontier.WriteAll("out") // FRONTIER.csv + FRONTIER.json
 package scalesim
 
 import (
@@ -169,16 +181,26 @@ type Result struct {
 	CacheStats RunCacheStats
 }
 
-// Summary aggregates the run.
+// Summary aggregates the run: raw cycle/energy totals plus the derived
+// scalar metrics (EDP, effective TOPS, DRAM bytes per MAC) that the
+// exploration objectives and human reports share.
 func (r *Result) Summary() report.Summary {
 	var s report.Summary
 	var energyPJ float64
 	var secs float64
+	var utilWeighted float64
+	wordBytes := r.Config.WordBytes
+	if wordBytes <= 0 {
+		wordBytes = 4
+	}
 	for i := range r.Layers {
 		l := &r.Layers[i]
 		s.TotalComputeCycles += l.ComputeCycles
 		s.TotalStallCycles += l.StallCycles
 		s.TotalCycles += l.TotalCycles
+		s.TotalMACs += int64(l.M) * int64(l.N) * int64(l.K)
+		s.TotalDRAMBytes += (l.DRAMReadWords + l.DRAMWriteWords) * int64(wordBytes)
+		utilWeighted += l.Utilization * float64(l.ComputeCycles)
 		if l.Energy != nil {
 			energyPJ += l.Energy.TotalPJ
 			secs += l.Energy.Seconds()
@@ -189,6 +211,10 @@ func (r *Result) Summary() report.Summary {
 		// mJ per second is exactly mW.
 		s.AvgPowerMW = s.TotalEnergyMJ / secs
 	}
+	if s.TotalComputeCycles > 0 {
+		s.AvgUtilization = utilWeighted / float64(s.TotalComputeCycles)
+	}
+	s.Derive(r.Config.Energy.FrequencyMHz)
 	return s
 }
 

@@ -61,11 +61,22 @@ func Sweep(ctx context.Context, points []SweepPoint, opts ...Option) ([]SweepRes
 		workers = n
 	}
 
-	var mu sync.Mutex // serializes progress callbacks across points
+	var (
+		mu   sync.Mutex // serializes progress callbacks across points
+		done int
+	)
 	forEachIndex(ctx, n, workers, func(i int) {
 		p := &points[i]
 		out[i].Point = *p
 		out[i].Result, out[i].Err = runSweepPoint(ctx, &o, &mu, p)
+		if o.sweepProgress != nil {
+			mu.Lock()
+			done++
+			o.sweepProgress(SweepPointProgress{
+				Index: i, Total: n, Point: p.Name, Done: done, Err: out[i].Err,
+			})
+			mu.Unlock()
+		}
 	})
 	// Points never dispatched because ctx was cancelled still owe the
 	// caller the one-of-Result-and-Err contract.
