@@ -152,7 +152,10 @@ func BenchmarkDataflowDRAMStalls(b *testing.B) {
 // --- Ablations ---
 
 // benchMemoryRun replays one mid-size GEMM against a configurable DRAM
-// system; the ablation benches vary one knob at a time.
+// system; the ablation benches vary one knob at a time. It fails outright
+// if the event engine reports zero skipped cycles: on a memory-bound
+// config like this one, cycle-skipping is the engine's core perf contract
+// (mirroring the cache-hit assertion in BenchmarkExploreCached).
 func benchMemoryRun(b *testing.B, policy dram.RowPolicy, sched dram.Scheduler) {
 	b.Helper()
 	g := systolic.Gemm{M: 256, N: 128, K: 256}
@@ -171,8 +174,12 @@ func benchMemoryRun(b *testing.B, policy dram.RowPolicy, sched dram.Scheduler) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		if res.SkippedCycles == 0 {
+			b.Fatal("event engine skipped zero cycles on a memory-bound config")
+		}
 		b.ReportMetric(float64(res.TotalCycles), "sim_cycles")
 		b.ReportMetric(res.DRAM.RowHitRate(), "row_hit_rate")
+		b.ReportMetric(float64(res.SkippedCycles), "skipped_cycles")
 	}
 }
 

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// runBench implements `scalesim bench`: it runs the repository's benchmark
+// suite (or parses an existing `go test -bench` output) and writes a pair
+// of baseline files — the raw text, which benchstat consumes directly, and
+// a structured BENCH_<date>[_tag].json for tooling. Committing the pre-
+// and post-change baselines gives future PRs a performance trajectory.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		benchRe   = fs.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime = fs.String("benchtime", "3x", "go test -benchtime value")
+		count     = fs.Int("count", 1, "go test -count value")
+		outDir    = fs.String("outdir", "results", "directory for BENCH_<date> files")
+		tag       = fs.String("tag", "", "optional label appended to the file name (e.g. pre, post)")
+		parse     = fs.String("parse", "", "parse an existing bench output file instead of running the suite")
+		pkg       = fs.String("pkg", ".", "package to benchmark")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var raw []byte
+	if *parse != "" {
+		var err error
+		if raw, err = os.ReadFile(*parse); err != nil {
+			return err
+		}
+	} else {
+		cmd := exec.Command("go", "test", "-run=NONE",
+			"-bench", *benchRe, "-benchmem",
+			"-benchtime", *benchtime,
+			"-count", strconv.Itoa(*count), *pkg)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("bench run failed: %w", err)
+		}
+		raw = out
+	}
+
+	report, err := parseBenchOutput(raw)
+	if err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found")
+	}
+	report.Date = time.Now().Format("2006-01-02")
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	base := "BENCH_" + report.Date
+	if *tag != "" {
+		base += "_" + *tag
+	}
+	txtPath := filepath.Join(*outDir, base+".txt")
+	if err := os.WriteFile(txtPath, raw, 0o644); err != nil {
+		return err
+	}
+	jsonBytes, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	jsonPath := filepath.Join(*outDir, base+".json")
+	if err := os.WriteFile(jsonPath, append(jsonBytes, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s (%d benchmarks)\n", txtPath, jsonPath, len(report.Benchmarks))
+	return nil
+}
+
+// BenchReport is the JSON baseline schema.
+type BenchReport struct {
+	Date       string       `json:"date"`
+	GoOS       string       `json:"goos,omitempty"`
+	GoArch     string       `json:"goarch,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	Package    string       `json:"pkg,omitempty"`
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// BenchEntry is one benchmark result line.
+type BenchEntry struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+var benchLineRe = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// parseBenchOutput converts standard `go test -bench` text into the JSON
+// schema. Unknown "value unit" pairs land in Metrics, so ReportMetric
+// extras (sim_cycles, row_hit_rate, cache_hits, ...) are preserved.
+func parseBenchOutput(raw []byte) (*BenchReport, error) {
+	rep := &BenchReport{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		m := benchLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := BenchEntry{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = val
+			case "B/op":
+				e.BytesPerOp = int64(val)
+			case "allocs/op":
+				e.AllocsPerOp = int64(val)
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[fields[i+1]] = val
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	return rep, nil
+}

@@ -10,6 +10,7 @@
 //	    -space "array=16..128:pow2;dataflow=os,ws,is;channels=1..4:pow2" \
 //	    -objectives cycles,energy -strategy random -budget 48 -seed 1 \
 //	    -outdir ./out
+//	scalesim bench -bench 'DRAM|Fig9|Fig10' -tag post -outdir results
 package main
 
 import (
@@ -27,9 +28,12 @@ import (
 
 func main() {
 	var err error
-	if len(os.Args) > 1 && os.Args[1] == "explore" {
+	switch {
+	case len(os.Args) > 1 && os.Args[1] == "explore":
 		err = runExplore(os.Args[2:])
-	} else {
+	case len(os.Args) > 1 && os.Args[1] == "bench":
+		err = runBench(os.Args[2:])
+	default:
 		err = run()
 	}
 	if err != nil {

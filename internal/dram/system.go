@@ -2,6 +2,7 @@ package dram
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // Request is one memory transaction submitted to the DRAM system.
@@ -63,6 +64,12 @@ type Options struct {
 	Sched      Scheduler
 	// DisableRefresh turns periodic refresh off (useful in unit tests).
 	DisableRefresh bool
+	// ReferenceTicks makes AdvanceTo, RunUntilDrained and SimulateTrace
+	// advance the clock one Tick per cycle instead of jumping between
+	// events. The two modes are cycle-for-cycle identical; the reference
+	// loop is retained as the oracle for the event engine's differential
+	// tests.
+	ReferenceTicks bool
 }
 
 // Stats aggregates the observable behaviour of the memory system.
@@ -117,6 +124,7 @@ type bank struct {
 // pending is a queued request plus its decoded coordinates.
 type pending struct {
 	req  *Request
+	bk   *bank // target bank, resolved at enqueue
 	rank int
 	bank int // flat bank index within rank
 	row  int64
@@ -127,12 +135,48 @@ type pending struct {
 	classified bool
 }
 
+// ring is a fixed-capacity circular buffer of pending requests in arrival
+// order. Capacity is a power of two sized to the queue depth at New, so it
+// never grows and removals shift only the shorter side.
+type ring struct {
+	buf  []*pending
+	head int
+	n    int
+}
+
+func (r *ring) at(i int) *pending { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *ring) set(i int, p *pending) { r.buf[(r.head+i)&(len(r.buf)-1)] = p }
+
+func (r *ring) push(p *pending) {
+	r.set(r.n, p)
+	r.n++
+}
+
+// removeAt deletes entry i, preserving order by shifting whichever side of
+// the ring is shorter.
+func (r *ring) removeAt(i int) {
+	if i <= r.n-1-i {
+		for j := i; j > 0; j-- {
+			r.set(j, r.at(j-1))
+		}
+		r.set(0, nil)
+		r.head = (r.head + 1) & (len(r.buf) - 1)
+	} else {
+		for j := i; j < r.n-1; j++ {
+			r.set(j, r.at(j+1))
+		}
+		r.set(r.n-1, nil)
+	}
+	r.n--
+}
+
 // channel is one memory channel: controller, queues and banks.
 type channel struct {
 	tech    *Tech
 	opts    *Options
 	banks   [][]bank // [rank][bank]
-	queue   []*pending
+	queue   ring
 	busFree int64 // cycle at which the data bus is next free
 	// rank-level ACT history for tFAW (last 4 ACT cycles, ring).
 	actHist [][4]int64
@@ -142,6 +186,15 @@ type channel struct {
 	refreshBusyUntil   int64
 	seq                int64
 	stats              Stats
+	// free recycles pending entries removed from the queue so steady-state
+	// operation allocates nothing per request.
+	free []*pending
+	// quiet memoizes the channel's horizon: while quietValid, ticking
+	// before cycle `quiet` provably does nothing (refresh excepted — the
+	// refresh check runs before the memo is consulted). Invalidated by
+	// every state change: enqueue, command issue, refresh.
+	quiet      int64
+	quietValid bool
 }
 
 // System is a multi-channel DRAM memory system.
@@ -151,10 +204,26 @@ type System struct {
 
 	channels []*channel
 	now      int64
+	// skipped counts cycles AdvanceTo jumped over without per-cycle
+	// ticking — the event engine's work-saved metric.
+	skipped int64
 
 	lineBytes int64
 	// decode geometry, cached off Tech.
 	nch, nbk, nrank, nrows, linesPerRow int64
+	// Shift/mask fast path for decode, valid when every factor is a
+	// power of two (true for all built-in technologies).
+	pow2                                             bool
+	lineShift, chShift, colShift, bkShift, rankShift uint
+	chMask, bkMask, rankMask, rowMask                int64
+}
+
+// log2of returns (log2(v), true) when v is a positive power of two.
+func log2of(v int64) (uint, bool) {
+	if v <= 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	return uint(bits.TrailingZeros64(uint64(v))), true
 }
 
 // New builds a DRAM system. QueueDepth defaults to 64, Channels to 1.
@@ -169,6 +238,10 @@ func New(tech Tech, opts Options) (*System, error) {
 		opts.QueueDepth = 64
 	}
 	s := &System{Tech: tech, Opts: opts, lineBytes: int64(tech.BurstBytes())}
+	ringCap := 1
+	for ringCap < opts.QueueDepth {
+		ringCap <<= 1
+	}
 	s.nch = int64(opts.Channels)
 	s.nbk = int64(tech.Banks())
 	s.nrank = int64(tech.Ranks)
@@ -177,8 +250,21 @@ func New(tech Tech, opts Options) (*System, error) {
 	if s.linesPerRow < 1 {
 		s.linesPerRow = 1
 	}
+	lineS, ok1 := log2of(s.lineBytes)
+	chS, ok2 := log2of(s.nch)
+	colS, ok3 := log2of(s.linesPerRow)
+	bkS, ok4 := log2of(s.nbk)
+	rankS, ok5 := log2of(s.nrank)
+	rowS, ok6 := log2of(s.nrows)
+	if ok1 && ok2 && ok3 && ok4 && ok5 && ok6 {
+		s.pow2 = true
+		s.lineShift, s.chShift, s.colShift, s.bkShift, s.rankShift = lineS, chS, colS, bkS, rankS
+		s.chMask, s.bkMask, s.rankMask = s.nch-1, s.nbk-1, s.nrank-1
+		s.rowMask = int64(1)<<rowS - 1
+	}
 	for i := 0; i < opts.Channels; i++ {
 		ch := &channel{tech: &s.Tech, opts: &s.Opts, refreshAt: int64(tech.TREFI)}
+		ch.queue.buf = make([]*pending, ringCap)
 		ch.banks = make([][]bank, tech.Ranks)
 		ch.actHist = make([][4]int64, tech.Ranks)
 		ch.nextReadAfterWrite = make([]int64, tech.Ranks)
@@ -203,6 +289,18 @@ func (s *System) Now() int64 { return s.now }
 // a row:rank:bank:column:channel interleaving (channel bits lowest, above
 // the burst offset, so consecutive lines stripe across channels).
 func (s *System) decode(addr int64) (ch, rank, bk int, row int64) {
+	if s.pow2 {
+		a := addr >> s.lineShift
+		ch = int(a & s.chMask)
+		a >>= s.chShift
+		a >>= s.colShift // drop column bits
+		bk = int(a & s.bkMask)
+		a >>= s.bkShift
+		rank = int(a & s.rankMask)
+		a >>= s.rankShift
+		row = a & s.rowMask
+		return ch, rank, bk, row
+	}
 	a := addr / s.lineBytes
 	ch = int(a % s.nch)
 	a /= s.nch
@@ -218,13 +316,13 @@ func (s *System) decode(addr int64) (ch, rank, bk int, row int64) {
 // CanEnqueue reports whether the target channel queue has room for addr.
 func (s *System) CanEnqueue(addr int64) bool {
 	ch, _, _, _ := s.decode(addr)
-	return len(s.channels[ch].queue) < s.Opts.QueueDepth
+	return s.channels[ch].queue.n < s.Opts.QueueDepth
 }
 
 // QueueOccupancy returns the number of pending requests on addr's channel.
 func (s *System) QueueOccupancy(addr int64) int {
 	ch, _, _, _ := s.decode(addr)
-	return len(s.channels[ch].queue)
+	return s.channels[ch].queue.n
 }
 
 // Enqueue admits a request. It returns false (and leaves the request
@@ -233,22 +331,36 @@ func (s *System) QueueOccupancy(addr int64) int {
 func (s *System) Enqueue(req *Request) bool {
 	chIdx, rank, bk, row := s.decode(req.Addr)
 	ch := s.channels[chIdx]
-	if len(ch.queue) >= s.Opts.QueueDepth {
+	if ch.queue.n >= s.Opts.QueueDepth {
 		return false
 	}
 	if req.Arrive < s.now {
 		req.Arrive = s.now
 	}
 	ch.seq++
-	ch.queue = append(ch.queue, &pending{req: req, rank: rank, bank: bk, row: row, seq: ch.seq})
+	p := ch.getPending()
+	p.req, p.rank, p.bank, p.row, p.seq = req, rank, bk, row, ch.seq
+	p.bk = &ch.banks[rank][bk]
+	ch.queue.push(p)
+	ch.quietValid = false
 	return true
+}
+
+func (ch *channel) getPending() *pending {
+	if n := len(ch.free); n > 0 {
+		p := ch.free[n-1]
+		ch.free = ch.free[:n-1]
+		*p = pending{}
+		return p
+	}
+	return &pending{}
 }
 
 // Pending returns the total queued requests across channels.
 func (s *System) Pending() int {
 	n := 0
 	for _, ch := range s.channels {
-		n += len(ch.queue)
+		n += ch.queue.n
 	}
 	return n
 }
@@ -262,8 +374,71 @@ func (s *System) Tick() {
 	}
 }
 
-// RunUntilDrained ticks until no requests are pending or maxCycles elapses.
-// It returns the number of cycles advanced.
+// farFuture is the "no event scheduled" horizon sentinel.
+const farFuture = int64(1) << 62
+
+// SkippedCycles reports how many cycles the event engine advanced without
+// per-cycle ticking. Zero on a memory-bound run means the engine never
+// found a dead cycle — the perf contract the bench smoke test enforces.
+func (s *System) SkippedCycles() int64 { return s.skipped }
+
+// NextEventCycle returns the earliest cycle strictly after Now() at which
+// any channel can change state: fire a refresh, come out of a refresh
+// block, see a queued request arrive, or legally issue a PRE/ACT/column
+// command. Cycles before the horizon are provably dead — ticking through
+// them would change neither state nor statistics. Returns farFuture when
+// every queue is empty and refresh is disabled.
+func (s *System) NextEventCycle() int64 {
+	next := farFuture
+	for _, ch := range s.channels {
+		if e := ch.nextEvent(s.now); e < next {
+			next = e
+		}
+	}
+	if next <= s.now {
+		next = s.now + 1
+	}
+	return next
+}
+
+// stepTo jumps the clock so the next Tick executes cycle `next` (> now),
+// crediting the jumped-over cycles as skipped.
+func (s *System) stepTo(next int64) {
+	if d := next - s.now - 1; d > 0 {
+		s.now += d
+		s.skipped += d
+	}
+	s.Tick()
+}
+
+// AdvanceTo advances simulation time to the target cycle, processing every
+// intervening event exactly as the equivalent run of per-cycle Ticks
+// would, but jumping over the dead cycles in between. Under
+// Opts.ReferenceTicks it degenerates to the per-cycle loop.
+func (s *System) AdvanceTo(target int64) {
+	if s.Opts.ReferenceTicks {
+		for s.now < target {
+			s.Tick()
+		}
+		return
+	}
+	for s.now < target {
+		// Single-cycle advances (the replay's live cycles) need no
+		// horizon computation — they are exactly one Tick.
+		if s.now+1 == target {
+			s.Tick()
+			return
+		}
+		next := s.NextEventCycle()
+		if next > target {
+			next = target
+		}
+		s.stepTo(next)
+	}
+}
+
+// RunUntilDrained advances until no requests are pending or maxCycles
+// elapses. It returns the number of cycles advanced.
 func (s *System) RunUntilDrained(maxCycles int64) (int64, error) {
 	start := s.now
 	for s.Pending() > 0 {
@@ -271,7 +446,17 @@ func (s *System) RunUntilDrained(maxCycles int64) (int64, error) {
 			return s.now - start, fmt.Errorf("dram: not drained after %d cycles (%d pending)",
 				maxCycles, s.Pending())
 		}
-		s.Tick()
+		if s.Opts.ReferenceTicks {
+			s.Tick()
+			continue
+		}
+		next := s.NextEventCycle()
+		// Never advance beyond the budget boundary: the reference loop
+		// stops (and fires any refreshes) there too.
+		if maxCycles >= 0 && next > start+maxCycles {
+			next = start + maxCycles
+		}
+		s.stepTo(next)
 	}
 	return s.now - start, nil
 }
@@ -326,6 +511,7 @@ func (ch *channel) tick(now int64) {
 		ch.refreshAt += int64(t.TREFI)
 		ch.refreshBusyUntil = now + int64(t.TRFC)
 		ch.stats.Refreshes++
+		ch.quietValid = false
 		for r := range ch.banks {
 			for b := range ch.banks[r] {
 				bk := &ch.banks[r][b]
@@ -339,16 +525,24 @@ func (ch *channel) tick(now int64) {
 	if now < ch.refreshBusyUntil {
 		return
 	}
-	if len(ch.queue) == 0 {
+	if ch.queue.n == 0 {
 		return
 	}
+	// Quiet horizon: the last scan proved nothing can happen before
+	// ch.quiet, and no state has changed since.
+	if ch.quietValid && now < ch.quiet {
+		return
+	}
+	ch.quietValid = false
 
-	idx := ch.pick(now)
+	idx, futureArrive := ch.pickAt(now)
 	if idx < 0 {
+		// Nothing schedulable until a queued request arrives.
+		ch.quiet, ch.quietValid = futureArrive, true
 		return
 	}
-	p := ch.queue[idx]
-	bk := &ch.banks[p.rank][p.bank]
+	p := ch.queue.at(idx)
+	bk := p.bk
 
 	// Classify the request on its first service attempt only.
 	if !p.classified {
@@ -368,67 +562,49 @@ func (ch *channel) tick(now int64) {
 		// Row open: issue the column command if legal.
 		if ch.issueColumn(now, p, bk) {
 			ch.remove(idx)
+			return
 		}
 	case bk.openRow < 0:
 		// Activate the row.
-		ch.issueACT(now, p, bk)
+		if ch.issueACT(now, p, bk) {
+			return
+		}
 	default:
 		// Wrong row open: precharge first.
-		ch.issuePRE(now, bk)
+		if ch.issuePRE(now, bk) {
+			return
+		}
+	}
+	// The picked command could not issue: the channel is quiet until its
+	// earliest legal cycle, unless a later-arriving request changes the
+	// pick first.
+	ch.quiet, ch.quietValid = min(ch.readyCycle(p), futureArrive), true
+}
+
+// readyCycle returns the earliest cycle the picked request's next command
+// (column, ACT or PRE, depending on the bank's row state) becomes legal.
+func (ch *channel) readyCycle(p *pending) int64 {
+	bk := p.bk
+	switch {
+	case bk.openRow == p.row:
+		if p.req.Write {
+			return max(ch.busFree, bk.nextWR)
+		}
+		return max(ch.busFree, max(bk.nextRD, ch.nextReadAfterWrite[p.rank]))
+	case bk.openRow < 0:
+		return ch.actReady(p.rank, bk)
+	default:
+		return bk.nextPRE
 	}
 }
 
-// reorderWindow bounds how far ahead of the oldest request FR-FCFS may
-// reorder, matching the limited associative search of real controllers
-// (and keeping scheduling O(window) per cycle).
-const reorderWindow = 64
-
-// pick chooses the queue index to service this cycle. The queue is kept in
-// arrival (seq) order, so index 0 is always the oldest request.
-func (ch *channel) pick(now int64) int {
-	n := len(ch.queue)
-	if n == 0 {
-		return -1
-	}
-	if ch.opts.Sched == FCFS {
-		if ch.queue[0].req.Arrive > now {
-			return -1
-		}
-		return 0
-	}
-	// FR-FCFS: oldest row-hit within the reorder window, else oldest.
-	limit := n
-	if limit > reorderWindow {
-		limit = reorderWindow
-	}
-	bestAny := -1
-	for i := 0; i < limit; i++ {
-		p := ch.queue[i]
-		if p.req.Arrive > now {
-			continue
-		}
-		if bestAny < 0 {
-			bestAny = i
-		}
-		if ch.banks[p.rank][p.bank].openRow == p.row {
-			return i
-		}
-	}
-	return bestAny
-}
-
-func (ch *channel) remove(idx int) {
-	ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...)
-}
-
-// issueACT activates p.row in bank bk if all constraints allow.
-func (ch *channel) issueACT(now int64, p *pending, bk *bank) bool {
+// actReady returns the earliest cycle an ACT may issue in bank bk: the
+// bank's own horizon plus the rank-level tRRD (ACT-to-ACT) and tFAW (at
+// most 4 ACTs per rolling window) constraints from the ACT history. It is
+// the single legality rule shared by issueACT and the event horizon.
+func (ch *channel) actReady(rank int, bk *bank) int64 {
 	t := ch.tech
-	if now < bk.nextACT {
-		return false
-	}
-	// tRRD: ACT-to-ACT across banks of the rank.
-	hist := &ch.actHist[p.rank]
+	hist := &ch.actHist[rank]
 	latest := int64(-1 << 60)
 	oldest := int64(1 << 60)
 	for _, v := range hist {
@@ -439,13 +615,139 @@ func (ch *channel) issueACT(now int64, p *pending, bk *bank) bool {
 			oldest = v
 		}
 	}
-	if now-latest < int64(t.TRRD) {
+	return max(bk.nextACT, max(latest+int64(t.TRRD), oldest+int64(t.TFAW)))
+}
+
+// nextEvent returns the earliest cycle > now at which ticking this channel
+// could do anything. It mirrors tick exactly: between two command issues
+// the queue, bank states and timing horizons are all frozen, so the
+// scheduler's pick is stable and the earliest legal issue cycle of the
+// picked request can be read straight off the bank/bus horizons.
+func (ch *channel) nextEvent(now int64) int64 {
+	next := farFuture
+	if !ch.opts.DisableRefresh {
+		next = ch.refreshAt
+		if next <= now {
+			// Overdue refresh (clock was moved externally): fires on the
+			// very next tick.
+			return now + 1
+		}
+	}
+	if ch.queue.n == 0 {
+		return next
+	}
+	// Commands resume once the refresh block clears.
+	t := now + 1
+	if t < ch.refreshBusyUntil {
+		t = ch.refreshBusyUntil
+	}
+	// A previous scan may already have proven the channel quiet.
+	if ch.quietValid {
+		q := ch.quiet
+		if q < t {
+			q = t
+		}
+		if q < next {
+			next = q
+		}
+		return next
+	}
+	idx, futureArrive := ch.pickAt(t)
+	// A request arriving inside the horizon can change the pick (or become
+	// the pick), so arrivals bound the jump too.
+	if futureArrive < next {
+		next = futureArrive
+	}
+	if idx < 0 {
+		return next
+	}
+	p := ch.queue.at(idx)
+	if !p.classified {
+		// The first service attempt classifies the request as a row
+		// hit/miss/conflict even when no command can issue yet, and a
+		// refresh may close the row before the command becomes legal —
+		// so the first pick cycle is a stats event in its own right.
+		if t < next {
+			next = t
+		}
+		return next
+	}
+	ready := ch.readyCycle(p)
+	if ready < t {
+		ready = t
+	}
+	// Memoize the horizon (refresh excluded: tick checks it first) so
+	// repeated horizon queries and intervening ticks are O(1).
+	ch.quiet, ch.quietValid = min(ready, futureArrive), true
+	if ready < next {
+		next = ready
+	}
+	return next
+}
+
+// pickAt chooses the queue index the scheduler services at cycle t (FCFS:
+// the oldest request; FR-FCFS: the oldest row hit within the reorder
+// window, else the oldest). The queue is kept in arrival (seq) order, so
+// index 0 is always the oldest. It also returns the earliest Arrive > t
+// among the scanned requests (farFuture if none): the pick is only
+// guaranteed stable until that arrival.
+func (ch *channel) pickAt(t int64) (int, int64) {
+	n := ch.queue.n
+	futureArrive := farFuture
+	if n == 0 {
+		return -1, futureArrive
+	}
+	if ch.opts.Sched == FCFS {
+		if a := ch.queue.at(0).req.Arrive; a > t {
+			return -1, a
+		}
+		return 0, futureArrive
+	}
+	limit := n
+	if limit > reorderWindow {
+		limit = reorderWindow
+	}
+	buf, mask := ch.queue.buf, len(ch.queue.buf)-1
+	pos := ch.queue.head
+	bestAny := -1
+	for i := 0; i < limit; i++ {
+		p := buf[pos]
+		pos = (pos + 1) & mask
+		if a := p.req.Arrive; a > t {
+			if a < futureArrive {
+				futureArrive = a
+			}
+			continue
+		}
+		if bestAny < 0 {
+			bestAny = i
+		}
+		if p.bk.openRow == p.row {
+			return i, futureArrive
+		}
+	}
+	return bestAny, futureArrive
+}
+
+// reorderWindow bounds how far ahead of the oldest request FR-FCFS may
+// reorder, matching the limited associative search of real controllers
+// (and keeping scheduling O(window) per cycle).
+const reorderWindow = 64
+
+// remove deletes the queue entry at idx and recycles its pending slot.
+func (ch *channel) remove(idx int) {
+	p := ch.queue.at(idx)
+	ch.queue.removeAt(idx)
+	ch.free = append(ch.free, p)
+}
+
+// issueACT activates p.row in bank bk if all constraints allow.
+func (ch *channel) issueACT(now int64, p *pending, bk *bank) bool {
+	t := ch.tech
+	if now < ch.actReady(p.rank, bk) {
 		return false
 	}
-	// tFAW: at most 4 ACTs in any tFAW window.
-	if now-oldest < int64(t.TFAW) {
-		return false
-	}
+	hist := &ch.actHist[p.rank]
 	bk.openRow = p.row
 	bk.lastACT = now
 	bk.nextRD = now + int64(t.TRCD)
@@ -537,22 +839,32 @@ func (ch *channel) issueColumn(now int64, p *pending, bk *bank) bool {
 // system and drains it, returning the final stats. Requests that find the
 // queue full are retried every cycle, modeling back-pressure on the
 // producer; the returned stall count is the total cycles requests spent
-// blocked at the queue head.
+// blocked at the queue head. It runs on the event engine (one retry per
+// controller event instead of per cycle) unless Opts.ReferenceTicks asks
+// for the per-cycle reference loop; both produce identical stats.
 func (s *System) SimulateTrace(reqs []*Request) (Stats, int64, error) {
 	var stalls int64
 	i := 0
 	for i < len(reqs) {
 		r := reqs[i]
-		// Advance time to the request's arrival.
-		for s.now < r.Arrive {
-			s.Tick()
+		if s.now < r.Arrive {
+			// Advance time to the request's arrival.
+			s.AdvanceTo(r.Arrive)
 		}
 		if s.Enqueue(r) {
 			i++
 			continue
 		}
-		stalls++
-		s.Tick()
+		if s.Opts.ReferenceTicks {
+			stalls++
+			s.Tick()
+			continue
+		}
+		// Queue full: the head request retries (and fails) every cycle
+		// until the next controller event can free a slot.
+		next := s.NextEventCycle()
+		stalls += next - s.now
+		s.stepTo(next)
 	}
 	if _, err := s.RunUntilDrained(-1); err != nil {
 		return s.Stats(), stalls, err

@@ -25,6 +25,15 @@ type Options struct {
 	// CollectTrace records every DRAM transaction (arrival cycle,
 	// address, type, round-trip) into Result.Trace.
 	CollectTrace bool
+	// DebugEvery, when positive, prints replay state every N cycles while
+	// diagnosing stalls or livelocks in new schedules (exact under
+	// ReferenceTickLoop; best-effort when the event engine skips cycles).
+	DebugEvery int64
+	// ReferenceTickLoop advances the replay — and the attached DRAM
+	// system — one cycle per iteration instead of jumping between
+	// events. Slow; retained as the oracle the event engine's
+	// differential tests compare against.
+	ReferenceTickLoop bool
 }
 
 // TraceEntry is one recorded DRAM transaction.
@@ -68,6 +77,10 @@ type Result struct {
 	// ThroughputMBps is DRAM traffic divided by the run's wall time at
 	// the memory clock.
 	ThroughputMBps float64
+	// SkippedCycles counts the dead cycles the event engine jumped over
+	// instead of ticking one by one (zero under ReferenceTickLoop).
+	// Purely diagnostic: it does not affect any simulated statistic.
+	SkippedCycles int64
 	// Trace holds every transaction when Options.CollectTrace was set,
 	// in issue order.
 	Trace []TraceEntry
@@ -81,29 +94,28 @@ func (r *Result) StallFraction() float64 {
 	return float64(r.StallCycles) / float64(r.TotalCycles)
 }
 
-// debugEvery, when positive, prints replay state every N cycles (set
-// from tests while diagnosing livelocks).
-var debugEvery int64
-
-// request kinds in the global issue list.
-const (
-	kindStationary = iota
-	kindStream
-	kindWrite
-)
-
-type item struct {
-	fold int
-	kind int8
-	req  dram.Request
-}
-
 // Simulate replays the schedule against the DRAM system, modeling double
 // buffering (fold f+1 prefetches while fold f computes), a finite stream
 // staging window, finite DRAM request queues and real round-trip latencies.
 // The accelerator and memory controller are clocked 1:1.
+//
+// The replay is event-driven: whenever a cycle can make no progress —
+// waiting on stationary fills, stalled on stream data, counting down a
+// drain phase, or blocked on a full request queue — the clock jumps
+// straight to the next cycle anything can change (the DRAM controller's
+// event horizon, the next known data-return time, or the end of the drain)
+// instead of ticking through the dead cycles. Options.ReferenceTickLoop
+// restores the per-cycle loop; both modes produce identical Results.
 func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) {
 	opts.defaults()
+	if opts.ReferenceTickLoop {
+		// The oracle must be fully per-cycle: the DRAM system ticks cycle
+		// by cycle too, exactly the pre-event-engine simulator. Restore
+		// the caller's mode on return — the System outlives this call.
+		defer func(prev bool) { sys.Opts.ReferenceTicks = prev }(sys.Opts.ReferenceTicks)
+		sys.Opts.ReferenceTicks = true
+	}
+	skippedBase := sys.SkippedCycles()
 	// The staging window must cover at least one consume batch plus one
 	// in-flight line, or the producer/consumer pair livelocks.
 	var maxRate int64
@@ -125,38 +137,54 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 	// the write drain cursor and the prefetch horizon (cf+1) are live, so
 	// schedules with hundreds of thousands of folds stay cheap.
 	type foldReqs struct {
-		stat   []item
-		stream []item
+		stat   []dram.Request
+		stream []dram.Request
 		// streamCum[i] is cumulative stream words after line i.
 		streamCum []int64
-		writes    []item
+		writes    []dram.Request
 		live      bool
 	}
 	folds := make([]foldReqs, len(sched.Folds))
-	lineWords := int64(opts.LineBytes / opts.WordBytes)
-	if lineWords < 1 {
-		lineWords = 1
-	}
 	var lineBuf []int64
+
+	// Backing-array pools: released folds donate their request and
+	// cumulative-word arrays to the next materialize, so the replay's
+	// steady state allocates nothing per fold. Read-request arrays are
+	// safe to recycle as soon as the fold retires (a read leaves the
+	// controller queue when its column command issues, which fold
+	// completion implies); write arrays may still be referenced by queued
+	// posted writes, so they sit in retiredWrites until every entry has
+	// issued (Done > 0).
+	var reqFree [][]dram.Request
+	var cumFree [][]int64
+	var retiredWrites [][]dram.Request
+	getReqs := func() []dram.Request {
+		if n := len(reqFree); n > 0 {
+			s := reqFree[n-1][:0]
+			reqFree = reqFree[:n-1]
+			return s
+		}
+		return nil
+	}
+	appendSpan := func(dst []dram.Request, sp Span, write bool) []dram.Request {
+		lineBuf = sp.Lines(lineBuf[:0], int64(opts.WordBytes), int64(opts.LineBytes))
+		for _, addr := range lineBuf {
+			dst = append(dst, dram.Request{Addr: addr, Write: write})
+		}
+		return dst
+	}
 	materialize := func(i int) *foldReqs {
 		fr := &folds[i]
 		if fr.live {
 			return fr
 		}
 		f := &sched.Folds[i]
+		fr.stat, fr.stream, fr.writes = getReqs(), getReqs(), getReqs()
 		for _, sp := range f.Stationary {
-			lineBuf = sp.Lines(lineBuf[:0], int64(opts.WordBytes), int64(opts.LineBytes))
-			for _, addr := range lineBuf {
-				fr.stat = append(fr.stat, item{fold: i, kind: kindStationary,
-					req: dram.Request{Addr: addr}})
-			}
+			fr.stat = appendSpan(fr.stat, sp, false)
 		}
 		for _, sp := range f.Stream {
-			lineBuf = sp.Lines(lineBuf[:0], int64(opts.WordBytes), int64(opts.LineBytes))
-			for _, addr := range lineBuf {
-				fr.stream = append(fr.stream, item{fold: i, kind: kindStream,
-					req: dram.Request{Addr: addr}})
-			}
+			fr.stream = appendSpan(fr.stream, sp, false)
 		}
 		// Distribute the fold's stream words evenly over its lines
 		// (boundary-straddling lines mean lines × lineWords overcounts;
@@ -164,16 +192,17 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 		// cannot complete before every line has been issued and served).
 		total := f.StreamWords()
 		n := int64(len(fr.stream))
-		fr.streamCum = make([]int64, n)
+		if m := len(cumFree); m > 0 && int64(cap(cumFree[m-1])) >= n {
+			fr.streamCum = cumFree[m-1][:n]
+			cumFree = cumFree[:m-1]
+		} else {
+			fr.streamCum = make([]int64, n)
+		}
 		for j := int64(0); j < n; j++ {
 			fr.streamCum[j] = total * (j + 1) / n
 		}
 		for _, sp := range f.Writes {
-			lineBuf = sp.Lines(lineBuf[:0], int64(opts.WordBytes), int64(opts.LineBytes))
-			for _, addr := range lineBuf {
-				fr.writes = append(fr.writes, item{fold: i, kind: kindWrite,
-					req: dram.Request{Addr: addr, Write: true}})
-			}
+			fr.writes = appendSpan(fr.writes, sp, true)
 		}
 		fr.live = true
 		return fr
@@ -182,7 +211,36 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 		if opts.CollectTrace {
 			return // keep everything for the trace
 		}
-		folds[i] = foldReqs{}
+		fr := &folds[i]
+		if fr.stat != nil {
+			reqFree = append(reqFree, fr.stat)
+		}
+		if fr.stream != nil {
+			reqFree = append(reqFree, fr.stream)
+		}
+		if fr.streamCum != nil {
+			cumFree = append(cumFree, fr.streamCum)
+		}
+		if fr.writes != nil {
+			retiredWrites = append(retiredWrites, fr.writes)
+		}
+		// Reclaim retired write arrays oldest-first once fully issued.
+		for len(retiredWrites) > 0 {
+			ws := retiredWrites[0]
+			done := true
+			for j := range ws {
+				if ws[j].Done == 0 {
+					done = false
+					break
+				}
+			}
+			if !done {
+				break
+			}
+			reqFree = append(reqFree, ws)
+			retiredWrites = retiredWrites[1:]
+		}
+		*fr = foldReqs{}
 	}
 	for i := range sched.Folds {
 		f := &sched.Folds[i]
@@ -196,11 +254,12 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 	writeFold, writeIdx := 0, 0
 
 	// Consumer (compute) state.
-	cf := 0                   // fold being computed
-	started := false          // fold cf started?
-	statDone := 0             // completed stationary requests of fold cf
-	streamAvail := 0          // stream lines of cf whose data has returned
-	consumedWords := int64(0) // stream words consumed by the array in cf
+	cf := 0                    // fold being computed
+	started := false           // fold cf started?
+	statDone := 0              // completed stationary requests of fold cf
+	streamAvail := 0           // stream lines of cf whose data has returned
+	consumedWords := int64(0)  // stream words consumed by the array in cf
+	curStreamTotal := int64(0) // fold cf's stream words, cached while started
 	streamPhaseLeft := int64(0)
 	drainLeft := int64(0)
 	// Window tracking: unconsumed issued stream words of the current and
@@ -212,16 +271,34 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 	pacedWrites := sched.Dataflow != config.OutputStationary
 
 	now := int64(0)
-	tick := func() {
-		sys.Tick()
-		now++
+	// advanceTo moves the accelerator clock and the DRAM system — clocked
+	// 1:1 — to cycle t, letting the controller compress the dead cycles
+	// in between into per-event work.
+	advanceTo := func(t int64) {
+		sys.AdvanceTo(t)
+		now = t
+	}
+	// jumpTarget clamps a stall horizon: never past the abort budget (so
+	// the MaxCycles check still fires), always at least one cycle
+	// forward, and exactly one cycle under the reference loop.
+	jumpTarget := func(t int64) int64 {
+		if opts.ReferenceTickLoop {
+			return now + 1
+		}
+		if lim := opts.MaxCycles + 1; t > lim {
+			t = lim
+		}
+		if t < now+1 {
+			t = now + 1
+		}
+		return t
 	}
 
 	for cf < len(sched.Folds) {
 		if now > opts.MaxCycles {
 			return nil, fmt.Errorf("sram: simulation exceeded %d cycles", opts.MaxCycles)
 		}
-		if debugEvery > 0 && now%debugEvery == 0 && now > 0 {
+		if opts.DebugEvery > 0 && now%opts.DebugEvery == 0 && now > 0 {
 			fmt.Printf("sram-debug: now=%d cf=%d/%d started=%v phase=%d consumed=%d issued=%d streamAvail=%d issueFold=%d statIdx=%d streamIdx=%d writeFold=%d writeIdx=%d pending=%d\n",
 				now, cf, len(sched.Folds), started, streamPhaseLeft, consumedWords,
 				issuedStreamWords, streamAvail,
@@ -234,6 +311,8 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 		// write queue backs the array up (writeBlocked).
 		budget := opts.MaxRequestsPerCycle
 		writeBlocked := false
+		issuedAny := false
+		enqFailed := false
 		for budget > 0 {
 			if writeFold < cf {
 				wr := materialize(writeFold)
@@ -243,31 +322,35 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 					writeIdx = 0
 					continue
 				}
-				it := &wr.writes[writeIdx]
-				it.req.Arrive = now
-				if !sys.Enqueue(&it.req) {
+				rq := &wr.writes[writeIdx]
+				rq.Arrive = now
+				if !sys.Enqueue(rq) {
 					res.QueueFullCyc++
+					enqFailed = true
 					budget = 0
 					break
 				}
 				res.WriteRequests++
+				issuedAny = true
 				writeIdx++
 				budget--
 				continue
 			}
 			if pacedWrites && writeFold == cf && started {
 				fw := materialize(cf)
-				target := pacedTarget(len(fw.writes), consumedWords, sched.Folds[cf].StreamWords())
+				target := pacedTarget(len(fw.writes), consumedWords, curStreamTotal)
 				if writeIdx < target {
-					it := &fw.writes[writeIdx]
-					it.req.Arrive = now
-					if !sys.Enqueue(&it.req) {
+					rq := &fw.writes[writeIdx]
+					rq.Arrive = now
+					if !sys.Enqueue(rq) {
 						res.QueueFullCyc++
+						enqFailed = true
 						writeBlocked = true
 						budget = 0
 						break
 					}
 					res.WriteRequests++
+					issuedAny = true
 					writeIdx++
 					budget--
 					continue
@@ -278,14 +361,16 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 		for budget > 0 && issueFold < len(sched.Folds) && issueFold <= cf+1 {
 			fr := materialize(issueFold)
 			if statIdx < len(fr.stat) {
-				it := &fr.stat[statIdx]
-				it.req.Arrive = now
-				if !sys.Enqueue(&it.req) {
+				rq := &fr.stat[statIdx]
+				rq.Arrive = now
+				if !sys.Enqueue(rq) {
 					res.QueueFullCyc++
+					enqFailed = true
 					budget = 0
 					break
 				}
 				res.ReadRequests++
+				issuedAny = true
 				statIdx++
 				budget--
 				continue
@@ -294,10 +379,11 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 				if issuedStreamWords-consumedWordsIfCurrent(issueFold, cf, consumedWords) >= opts.StreamWindowWords {
 					break // staging window full
 				}
-				it := &fr.stream[streamIdx]
-				it.req.Arrive = now
-				if !sys.Enqueue(&it.req) {
+				rq := &fr.stream[streamIdx]
+				rq.Arrive = now
+				if !sys.Enqueue(rq) {
 					res.QueueFullCyc++
+					enqFailed = true
 					budget = 0
 					break
 				}
@@ -310,6 +396,7 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 				}
 				issuedStreamWords += inc
 				res.ReadRequests++
+				issuedAny = true
 				streamIdx++
 				budget--
 				continue
@@ -319,12 +406,35 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 			statIdx, streamIdx = 0, 0
 		}
 
+		// stall advances time across a no-progress stretch. If the
+		// producer issued something this cycle it may issue again next
+		// cycle, so only a single cycle passes; otherwise nothing can
+		// change before the DRAM controller's next event or the given
+		// data-return cycle, and the clock jumps straight there. The
+		// producer would have retried (and failed) a blocked enqueue on
+		// every skipped cycle, so QueueFullCyc counts them to match the
+		// reference loop's per-cycle accounting.
+		stall := func(waitDone int64) {
+			next := now + 1
+			if !issuedAny {
+				next = sys.NextEventCycle()
+				if waitDone > now && waitDone < next {
+					next = waitDone
+				}
+			}
+			next = jumpTarget(next)
+			if enqFailed {
+				res.QueueFullCyc += next - now - 1
+			}
+			advanceTo(next)
+		}
+
 		// 2) Advance compute.
 		fr := materialize(cf)
 		if !started {
 			// All stationary data must have returned.
-			for statDone < len(fr.stat) && fr.stat[statDone].req.Done > 0 &&
-				fr.stat[statDone].req.Done <= now {
+			for statDone < len(fr.stat) && fr.stat[statDone].Done > 0 &&
+				fr.stat[statDone].Done <= now {
 				statDone++
 			}
 			ready := statDone == len(fr.stat) && issueFoldBeyondStationary(issueFold, cf, statIdx, len(fr.stat))
@@ -338,17 +448,22 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 					drainLeft = 0
 				}
 				consumedWords = 0
+				curStreamTotal = f.StreamWords()
 				streamAvail = 0
 			} else {
-				tick()
+				var waitDone int64
+				if statDone < len(fr.stat) {
+					waitDone = fr.stat[statDone].Done
+				}
+				stall(waitDone)
 				continue
 			}
 		}
 		// Stream phase: consume ConsumeRate words/cycle if the data is
-		// here and the write path keeps up; otherwise stall this cycle.
+		// here and the write path keeps up; otherwise stall until it is.
 		if streamPhaseLeft > 0 {
-			for streamAvail < len(fr.stream) && fr.stream[streamAvail].req.Done > 0 &&
-				fr.stream[streamAvail].req.Done <= now {
+			for streamAvail < len(fr.stream) && fr.stream[streamAvail].Done > 0 &&
+				fr.stream[streamAvail].Done <= now {
 				streamAvail++
 			}
 			var availWords int64
@@ -357,7 +472,7 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 			}
 			f := &sched.Folds[cf]
 			need := consumedWords + f.ConsumeRate
-			total := f.StreamWords()
+			total := curStreamTotal
 			if need > total {
 				need = total
 			}
@@ -371,14 +486,33 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 			if !backlogged && (availWords >= need || streamAvail == len(fr.stream)) {
 				consumedWords = need
 				streamPhaseLeft--
+				advanceTo(now + 1)
+				continue
 			}
-			// else: stall cycle (no progress).
-			tick()
+			// Stall: waiting on the next stream line's data return (or,
+			// when backlogged, on the controller freeing write slots).
+			var waitDone int64
+			if !backlogged && streamAvail < len(fr.stream) {
+				waitDone = fr.stream[streamAvail].Done
+			}
+			stall(waitDone)
 			continue
 		}
 		if drainLeft > 0 {
-			drainLeft--
-			tick()
+			if issuedAny {
+				drainLeft--
+				advanceTo(now + 1)
+				continue
+			}
+			// Dead stretch: jump to the drain's end or the controller's
+			// next event (which could unblock the producer), whichever
+			// comes first.
+			next := jumpTarget(min(now+drainLeft, sys.NextEventCycle()))
+			if enqFailed {
+				res.QueueFullCyc += next - now - 1
+			}
+			drainLeft -= next - now
+			advanceTo(next)
 			continue
 		}
 		// Fold complete: release its stream words from the window. If the
@@ -408,7 +542,9 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 		statDone = 0
 	}
 
-	// Flush remaining writes.
+	// Flush remaining writes, jumping between controller events while the
+	// queue stays full (the reference loop retries every cycle; neither
+	// counts these toward QueueFullCyc).
 	for writeFold < len(folds) {
 		wr := materialize(writeFold)
 		if writeIdx >= len(wr.writes) {
@@ -417,13 +553,13 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 			writeIdx = 0
 			continue
 		}
-		it := &wr.writes[writeIdx]
-		it.req.Arrive = now
-		if sys.Enqueue(&it.req) {
+		rq := &wr.writes[writeIdx]
+		rq.Arrive = now
+		if sys.Enqueue(rq) {
 			res.WriteRequests++
 			writeIdx++
 		} else {
-			tick()
+			advanceTo(jumpTarget(sys.NextEventCycle()))
 		}
 	}
 	if _, err := sys.RunUntilDrained(opts.MaxCycles); err != nil {
@@ -437,20 +573,21 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 	}
 	if opts.CollectTrace {
 		for i := range folds {
-			for _, group := range [][]item{folds[i].stat, folds[i].stream, folds[i].writes} {
+			for _, group := range [][]dram.Request{folds[i].stat, folds[i].stream, folds[i].writes} {
 				for j := range group {
-					it := &group[j]
+					rq := &group[j]
 					res.Trace = append(res.Trace, TraceEntry{
-						Arrive: it.req.Arrive,
-						Done:   it.req.Done,
-						Addr:   it.req.Addr,
-						Write:  it.req.Write,
+						Arrive: rq.Arrive,
+						Done:   rq.Done,
+						Addr:   rq.Addr,
+						Write:  rq.Write,
 					})
 				}
 			}
 		}
 	}
 	res.DRAM = sys.Stats()
+	res.SkippedCycles = sys.SkippedCycles() - skippedBase
 	bytes := float64(res.DRAM.Reads+res.DRAM.Writes) * float64(sys.Tech.BurstBytes())
 	if secs := float64(res.DRAM.Cycles) / (sys.Tech.ClockMHz * 1e6); secs > 0 {
 		res.ThroughputMBps = bytes / secs / 1e6

@@ -2,6 +2,7 @@ package systolic
 
 import (
 	"fmt"
+	"sync"
 
 	"scalesim/internal/config"
 )
@@ -40,6 +41,12 @@ func (d *Demand) Total() int {
 // DemandFunc consumes one cycle of demand. Returning false stops streaming.
 type DemandFunc func(*Demand) bool
 
+// demandPool recycles Demand structs (and their grown backing slices)
+// across Stream calls, so Stream-heavy consumers — trace writers, the
+// layout analyzer, sweeps — do not churn the GC. Safe because the Demand
+// contract already forbids consumers from retaining the slices.
+var demandPool = sync.Pool{New: func() any { return new(Demand) }}
+
 // Gemm describes the GEMM being streamed.
 type Gemm struct {
 	M, N, K int
@@ -70,13 +77,14 @@ func Stream(df config.Dataflow, r, c int, g Gemm, fn DemandFunc) error {
 	fc := CeilDiv(mp.Sc, c)
 	perFold := FoldCycles(r, c, mp.T)
 
-	var d Demand
+	d := demandPool.Get().(*Demand)
+	defer demandPool.Put(d)
 	base := int64(0)
 	for i := 0; i < fr; i++ {
 		tileR := min(r, mp.Sr-i*r)
 		for j := 0; j < fc; j++ {
 			tileC := min(c, mp.Sc-j*c)
-			if !streamFold(df, r, c, g, i, j, tileR, tileC, mp.T, base, perFold, &d, fn) {
+			if !streamFold(df, r, c, g, i, j, tileR, tileC, mp.T, base, perFold, d, fn) {
 				return nil
 			}
 			base += perFold
