@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -21,13 +22,18 @@ import (
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		benchRe   = fs.String("bench", ".", "benchmark regex passed to go test -bench")
-		benchtime = fs.String("benchtime", "3x", "go test -benchtime value")
-		count     = fs.Int("count", 1, "go test -count value")
-		outDir    = fs.String("outdir", "results", "directory for BENCH_<date> files")
-		tag       = fs.String("tag", "", "optional label appended to the file name (e.g. pre, post)")
-		parse     = fs.String("parse", "", "parse an existing bench output file instead of running the suite")
-		pkg       = fs.String("pkg", ".", "package to benchmark")
+		benchRe    = fs.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime  = fs.String("benchtime", "3x", "go test -benchtime value")
+		count      = fs.Int("count", 1, "go test -count value")
+		outDir     = fs.String("outdir", "results", "directory for BENCH_<date> files")
+		tag        = fs.String("tag", "", "optional label appended to the file name (e.g. pre, post)")
+		out        = fs.String("out", "", "base file name override (e.g. BENCH_ci), bypassing the wall-clock date so CI artifacts are stable-named and diffable")
+		parse      = fs.String("parse", "", "parse an existing bench output file instead of running the suite")
+		pkg        = fs.String("pkg", ".", "package to benchmark")
+		baseline   = fs.String("baseline", "", "baseline BENCH_*.json to compare against; exits nonzero on regression")
+		maxRegress = fs.Float64("max-regress", 0.30, "tolerated geomean ns/op slowdown vs -baseline (0.30 = fail beyond +30%)")
+		minMatch   = fs.Int("min-match", 1, "fail unless at least this many benchmarks match the baseline (guards against renames and regex typos silently weakening the gate)")
+		deltaOut   = fs.String("delta", "", "file for the baseline comparison report (default <outdir>/<base>_delta.txt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,10 +70,7 @@ func runBench(args []string) error {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
-	base := "BENCH_" + report.Date
-	if *tag != "" {
-		base += "_" + *tag
-	}
+	base := benchBaseName(report.Date, *tag, *out)
 	txtPath := filepath.Join(*outDir, base+".txt")
 	if err := os.WriteFile(txtPath, raw, 0o644); err != nil {
 		return err
@@ -81,7 +84,120 @@ func runBench(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s and %s (%d benchmarks)\n", txtPath, jsonPath, len(report.Benchmarks))
+
+	if *baseline == "" {
+		return nil
+	}
+	baseRaw, err := os.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	var baseRep BenchReport
+	if err := json.Unmarshal(baseRaw, &baseRep); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", *baseline, err)
+	}
+	delta, err := compareBenchReports(&baseRep, report, *maxRegress)
+	if err != nil {
+		return err
+	}
+	if delta.Matched < *minMatch {
+		return fmt.Errorf("only %d benchmark(s) matched the baseline, want at least %d — renamed benchmark or -bench regex typo?",
+			delta.Matched, *minMatch)
+	}
+	deltaPath := *deltaOut
+	if deltaPath == "" {
+		deltaPath = filepath.Join(*outDir, base+"_delta.txt")
+	}
+	if err := os.WriteFile(deltaPath, []byte(delta.Text), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (geomean %.3fx over %d benchmarks vs %s)\n",
+		deltaPath, delta.Geomean, delta.Matched, *baseline)
+	if delta.Regressed {
+		return fmt.Errorf("performance regression: geomean %.3fx exceeds tolerance %.3fx",
+			delta.Geomean, 1+*maxRegress)
+	}
 	return nil
+}
+
+// benchBaseName resolves the output file base name: an explicit -out wins,
+// otherwise BENCH_<date> with the optional tag appended.
+func benchBaseName(date, tag, out string) string {
+	if out != "" {
+		return out
+	}
+	base := "BENCH_" + date
+	if tag != "" {
+		base += "_" + tag
+	}
+	return base
+}
+
+// BenchDelta summarizes a baseline comparison.
+type BenchDelta struct {
+	// Matched is how many benchmarks appear in both reports.
+	Matched int
+	// Geomean is the geometric mean of new/old ns/op ratios (>1 = slower).
+	Geomean float64
+	// Regressed reports whether Geomean exceeded the tolerance.
+	Regressed bool
+	// Text is the human-readable per-benchmark delta table.
+	Text string
+}
+
+// normalizeBenchName strips the -GOMAXPROCS suffix go test appends when
+// GOMAXPROCS != 1, so baselines recorded on different machines match
+// ("BenchmarkX-4" and "BenchmarkX" are the same benchmark).
+func normalizeBenchName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compareBenchReports matches benchmarks by normalized name and computes
+// the geometric mean of the ns/op ratios. A geomean beyond 1+maxRegress is
+// flagged as a regression; absolute times across machines are noisy, which
+// is why the gate is a geomean over the suite with a generous tolerance
+// rather than a per-benchmark bound.
+func compareBenchReports(baseline, current *BenchReport, maxRegress float64) (*BenchDelta, error) {
+	base := make(map[string]*BenchEntry, len(baseline.Benchmarks))
+	for i := range baseline.Benchmarks {
+		e := &baseline.Benchmarks[i]
+		base[normalizeBenchName(e.Name)] = e
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	var logSum float64
+	matched := 0
+	for i := range current.Benchmarks {
+		cur := &current.Benchmarks[i]
+		name := normalizeBenchName(cur.Name)
+		old, ok := base[name]
+		if !ok || old.NsPerOp <= 0 || cur.NsPerOp <= 0 {
+			continue
+		}
+		ratio := cur.NsPerOp / old.NsPerOp
+		logSum += math.Log(ratio)
+		matched++
+		fmt.Fprintf(&b, "%-44s %14.0f %14.0f %7.3fx\n", name, old.NsPerOp, cur.NsPerOp, ratio)
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("no benchmarks in common with the baseline")
+	}
+	geomean := math.Exp(logSum / float64(matched))
+	regressed := geomean > 1+maxRegress
+	verdict := "PASS"
+	if regressed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "\ngeomean: %.3fx over %d benchmark(s), tolerance %.3fx — %s\n",
+		geomean, matched, 1+maxRegress, verdict)
+	return &BenchDelta{Matched: matched, Geomean: geomean, Regressed: regressed, Text: b.String()}, nil
 }
 
 // BenchReport is the JSON baseline schema.

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestBenchBaseName(t *testing.T) {
+	tests := []struct {
+		date, tag, out, want string
+	}{
+		{"2026-07-29", "", "", "BENCH_2026-07-29"},
+		{"2026-07-29", "post", "", "BENCH_2026-07-29_post"},
+		{"2026-07-29", "post", "BENCH_ci", "BENCH_ci"},
+		{"2026-07-29", "", "BENCH_ci", "BENCH_ci"},
+	}
+	for _, tt := range tests {
+		if got := benchBaseName(tt.date, tt.tag, tt.out); got != tt.want {
+			t.Errorf("benchBaseName(%q, %q, %q) = %q, want %q", tt.date, tt.tag, tt.out, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizeBenchName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"BenchmarkFoo", "BenchmarkFoo"},
+		{"BenchmarkFoo-4", "BenchmarkFoo"},
+		{"BenchmarkFoo-16", "BenchmarkFoo"},
+		{"BenchmarkDRAMRowPolicy/open-row", "BenchmarkDRAMRowPolicy/open-row"},
+		{"BenchmarkDRAMRowPolicy/open-row-4", "BenchmarkDRAMRowPolicy/open-row"},
+	}
+	for _, tt := range tests {
+		if got := normalizeBenchName(tt.in); got != tt.want {
+			t.Errorf("normalizeBenchName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCompareBenchReports(t *testing.T) {
+	baseline := &BenchReport{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB/sub", NsPerOp: 200},
+		{Name: "BenchmarkOnlyInBaseline", NsPerOp: 50},
+	}}
+
+	t.Run("pass within tolerance", func(t *testing.T) {
+		current := &BenchReport{Benchmarks: []BenchEntry{
+			{Name: "BenchmarkA-4", NsPerOp: 110},     // 1.1x
+			{Name: "BenchmarkB/sub-4", NsPerOp: 220}, // 1.1x
+			{Name: "BenchmarkOnlyInCurrent", NsPerOp: 5},
+		}}
+		d, err := compareBenchReports(baseline, current, 0.30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Matched != 2 {
+			t.Errorf("Matched = %d, want 2", d.Matched)
+		}
+		if math.Abs(d.Geomean-1.1) > 1e-9 {
+			t.Errorf("Geomean = %v, want 1.1", d.Geomean)
+		}
+		if d.Regressed {
+			t.Errorf("Regressed = true for geomean 1.1 at tolerance 1.30")
+		}
+		if !strings.Contains(d.Text, "PASS") {
+			t.Errorf("delta text missing PASS verdict:\n%s", d.Text)
+		}
+	})
+
+	t.Run("fail beyond tolerance", func(t *testing.T) {
+		current := &BenchReport{Benchmarks: []BenchEntry{
+			{Name: "BenchmarkA", NsPerOp: 150},     // 1.5x
+			{Name: "BenchmarkB/sub", NsPerOp: 280}, // 1.4x
+		}}
+		d, err := compareBenchReports(baseline, current, 0.30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Regressed {
+			t.Errorf("Regressed = false for geomean %v at tolerance 1.30", d.Geomean)
+		}
+		if !strings.Contains(d.Text, "FAIL") {
+			t.Errorf("delta text missing FAIL verdict:\n%s", d.Text)
+		}
+	})
+
+	t.Run("speedups pass", func(t *testing.T) {
+		current := &BenchReport{Benchmarks: []BenchEntry{
+			{Name: "BenchmarkA", NsPerOp: 50},
+			{Name: "BenchmarkB/sub", NsPerOp: 100},
+		}}
+		d, err := compareBenchReports(baseline, current, 0.30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Regressed || d.Geomean >= 1 {
+			t.Errorf("speedup flagged as regression: geomean %v", d.Geomean)
+		}
+	})
+
+	t.Run("no overlap errors", func(t *testing.T) {
+		current := &BenchReport{Benchmarks: []BenchEntry{{Name: "BenchmarkZ", NsPerOp: 10}}}
+		if _, err := compareBenchReports(baseline, current, 0.30); err == nil {
+			t.Fatal("want error for disjoint benchmark sets")
+		}
+	})
+}
+
+// TestRunBenchMinMatch drives the CLI path: parsing a canned bench output
+// against a baseline must fail when fewer than -min-match benchmarks
+// survive name matching.
+func TestRunBenchMinMatch(t *testing.T) {
+	dir := t.TempDir()
+	benchTxt := dir + "/bench.txt"
+	if err := os.WriteFile(benchTxt, []byte("BenchmarkA-4   2   100 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseJSON := dir + "/base.json"
+	base := `{"benchmarks": [{"name": "BenchmarkA", "iterations": 2, "ns_per_op": 100}]}`
+	if err := os.WriteFile(baseJSON, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	common := []string{"-parse", benchTxt, "-outdir", dir, "-out", "BENCH_t", "-baseline", baseJSON}
+
+	if err := runBench(append(common, "-min-match", "1")); err != nil {
+		t.Fatalf("one matching benchmark at -min-match 1: %v", err)
+	}
+	err := runBench(append(common, "-min-match", "2"))
+	if err == nil {
+		t.Fatal("one matching benchmark at -min-match 2 must fail")
+	}
+	if !strings.Contains(err.Error(), "matched the baseline") {
+		t.Errorf("error %q does not explain the match shortfall", err)
+	}
+}
+
+func TestParseBenchOutputMetrics(t *testing.T) {
+	raw := []byte(`goos: linux
+goarch: amd64
+pkg: scalesim
+BenchmarkDRAMRowPolicy/open-row-4   2   7798384 ns/op   0.9675 row_hit_rate   248343 sim_cycles   268896 B/op   304 allocs/op
+`)
+	rep, err := parseBenchOutput(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(rep.Benchmarks))
+	}
+	e := rep.Benchmarks[0]
+	if e.NsPerOp != 7798384 || e.BytesPerOp != 268896 || e.AllocsPerOp != 304 {
+		t.Errorf("parsed entry %+v has wrong core stats", e)
+	}
+	if e.Metrics["row_hit_rate"] != 0.9675 || e.Metrics["sim_cycles"] != 248343 {
+		t.Errorf("parsed metrics %v missing custom units", e.Metrics)
+	}
+}

@@ -11,6 +11,7 @@
 //	    -objectives cycles,energy -strategy random -budget 48 -seed 1 \
 //	    -outdir ./out
 //	scalesim bench -bench 'DRAM|Fig9|Fig10' -tag post -outdir results
+//	scalesim serve -addr 127.0.0.1:8080 -shards 4
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 		err = runExplore(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "bench":
 		err = runBench(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "serve":
+		err = runServe(os.Args[2:])
 	default:
 		err = run()
 	}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scalesim"
+	"scalesim/internal/server"
+)
+
+// runServe implements `scalesim serve`: a long-lived HTTP/JSON job server
+// over the Run, Sweep and Explore facades. All jobs share one process-wide
+// layer-result cache, so repeated shapes across clients hit warm entries;
+// /metrics exposes the cache and job counters.
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains queued
+// and running jobs (bounded by -drain-timeout) and exits 0.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("scalesim serve", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address; use port 0 for an ephemeral port")
+		shards       = fs.Int("shards", 0, "worker shards executing jobs concurrently (0 = GOMAXPROCS)")
+		queueDepth   = fs.Int("queue", 64, "queued jobs per shard before enqueues are rejected with 503")
+		parallelism  = fs.Int("parallelism", 1, "default per-job worker-pool width (requests may override)")
+		cacheEntries = fs.Int("cache-entries", 0, "shared cache entry bound (0 = default 4096)")
+		cacheMB      = fs.Int("cache-mb", 0, "shared cache size bound in MiB (0 = default 256)")
+		maxJobs      = fs.Int("max-jobs", 0, "finished jobs retained for report fetching before the oldest are evicted (0 = default 1024)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		portFile     = fs.String("port-file", "", "write the bound listen address to this file (for scripts that pass port 0)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Options{
+		Shards:      *shards,
+		QueueDepth:  *queueDepth,
+		Parallelism: *parallelism,
+		MaxJobs:     *maxJobs,
+		Cache:       scalesim.NewCache(*cacheEntries, int64(*cacheMB)<<20),
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Printf("scalesim serve: listening on http://%s (shards=%d queue=%d)\n",
+		bound, srv.Shards(), *queueDepth)
+
+	select {
+	case err := <-serveErr:
+		// The listener failed before any shutdown signal.
+		srv.Drain(context.Background()) //nolint:errcheck
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("scalesim serve: shutting down, draining jobs...")
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Shutdown (stop accepting, close idle/held connections) runs
+	// concurrently with the job drain: a client trickling a request or
+	// holding an SSE stream must not consume the budget the simulations
+	// need. Draining marks the server as rejecting first, so connections
+	// that sneak a request in during shutdown get 503s, not new jobs.
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- hs.Shutdown(shutCtx) }()
+	if err := srv.Drain(shutCtx); err != nil {
+		return fmt.Errorf("drain timed out, canceled in-flight jobs: %w", err)
+	}
+	if err := <-shutdownErr; err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Println("scalesim serve: drained cleanly")
+	return nil
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scalesim"
+	"scalesim/internal/config"
+)
+
+// configVariants returns configurations exercising every DTO section.
+func configVariants() map[string]scalesim.Config {
+	multi := scalesim.DefaultConfig()
+	multi.MultiCore.Enabled = true
+	multi.MultiCore.PartitionRows = 2
+	multi.MultiCore.PartitionCols = 2
+	multi.MultiCore.Strategy = config.SpatioTemporal1
+	multi.MultiCore.L2SizeKB = 1024
+	multi.MultiCore.Cores = []config.CoreSpec{
+		{Rows: 16, Cols: 16, SIMDLanes: 8, SIMDLatency: 2, NoPHops: 1},
+		{Rows: 32, Cols: 32},
+	}
+	multi.MultiCore.NonUniform = true
+	multi.MultiCore.HopLatency = 3
+
+	sparse := scalesim.TPUConfig()
+	sparse.Sparsity.Enabled = true
+	sparse.Sparsity.OptimizedMapping = true
+	sparse.Sparsity.Format = config.CSR
+	sparse.Sparsity.BlockSize = 4
+	sparse.Sparsity.Seed = 7
+
+	full := config.EyerissLike()
+	full.Memory.Enabled = true
+	full.Memory.Technology = "HBM2"
+	full.Memory.Channels = 4
+	full.Layout.Enabled = true
+	full.Energy.Enabled = true
+	full.Energy.IncludeDRAM = true
+
+	return map[string]scalesim.Config{
+		"default":   scalesim.DefaultConfig(),
+		"tpu":       scalesim.TPUConfig(),
+		"eyeriss":   config.EyerissLike(),
+		"multicore": multi,
+		"sparse":    sparse,
+		"full":      full,
+	}
+}
+
+// TestDTOConfigRoundTrip proves Config → DTO → JSON → DTO → Config is the
+// identity for every configuration section.
+func TestDTOConfigRoundTrip(t *testing.T) {
+	for name, cfg := range configVariants() {
+		t.Run(name, func(t *testing.T) {
+			dto := ConfigToDTO(cfg)
+			raw, err := json.Marshal(dto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back ConfigDTO
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatal(err)
+			}
+			got, err := back.ToConfig()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, cfg) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, cfg)
+			}
+		})
+	}
+}
+
+// TestDTODecodeConfig covers preset resolution and field overrides.
+func TestDTODecodeConfig(t *testing.T) {
+	tests := []struct {
+		name string
+		raw  string
+		want func(scalesim.Config) bool
+	}{
+		{
+			name: "empty selects default",
+			raw:  `{}`,
+			want: func(c scalesim.Config) bool { return reflect.DeepEqual(c, scalesim.DefaultConfig()) },
+		},
+		{
+			name: "tpu preset",
+			raw:  `{"preset":"tpu"}`,
+			want: func(c scalesim.Config) bool { return reflect.DeepEqual(c, scalesim.TPUConfig()) },
+		},
+		{
+			name: "preset with override",
+			raw:  `{"preset":"tpu","array_rows":64}`,
+			want: func(c scalesim.Config) bool { return c.ArrayRows == 64 && c.ArrayCols == 128 },
+		},
+		{
+			name: "nested section override keeps siblings",
+			raw:  `{"memory":{"enabled":true,"channels":4}}`,
+			want: func(c scalesim.Config) bool {
+				// Technology and queue depths inherit the default section.
+				return c.Memory.Enabled && c.Memory.Channels == 4 &&
+					c.Memory.Technology == "DDR4" && c.Memory.ReadQueueDepth == 128
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg, err := DecodeConfig(json.RawMessage(tt.raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tt.want(cfg) {
+				t.Errorf("decoded config %+v fails predicate", cfg)
+			}
+		})
+	}
+}
+
+// TestDTODecodeConfigErrors proves unknown fields are rejected by name and
+// internal validation errors pass through with their field names.
+func TestDTODecodeConfigErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		raw     string
+		wantSub string
+	}{
+		{"unknown top-level field", `{"arry_rows":8}`, `"arry_rows"`},
+		{"unknown nested field", `{"memory":{"chanels":2}}`, `"chanels"`},
+		{"validation names field", `{"array_rows":-1}`, "ArrayRows"},
+		{"bad preset", `{"preset":"gpu"}`, "preset"},
+		{"bad dataflow lists valid values", `{"dataflow":"zigzag"}`, "valid: os, ws, is"},
+		{"bad sparse format", `{"sparsity":{"format":"coo"}}`, "ellpack_block"},
+		{"bad partition strategy", `{"multi_core":{"strategy":"diagonal"}}`, "spatiotemporal1"},
+		{"bad dram tech at validate", `{"memory":{"enabled":true,"technology":"SRAM9000"}}`, "Memory.Technology"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := DecodeConfig(json.RawMessage(tt.raw))
+			if err == nil {
+				t.Fatalf("DecodeConfig(%s) succeeded, want error containing %q", tt.raw, tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+// TestDTOTopologyRoundTrip proves explicit-layer topologies survive the
+// JSON shape, including sparsity annotations.
+func TestDTOTopologyRoundTrip(t *testing.T) {
+	topo := &scalesim.Topology{
+		Name: "mini",
+		Layers: []scalesim.Layer{
+			{Name: "conv1", Kind: scalesim.Conv, IfmapH: 14, IfmapW: 14,
+				FilterH: 3, FilterW: 3, Channels: 8, NumFilters: 16, Stride: 1},
+			{Name: "fc", Kind: scalesim.GEMM, M: 64, N: 32, K: 128,
+				Sparsity: scalesim.Sparsity{N: 2, M: 4}},
+		},
+	}
+	dto := TopologyToDTO(topo)
+	raw, err := json.Marshal(dto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TopologyDTO
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, forced, err := back.ToTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced {
+		t.Error("per-layer sparsity must not report a forced topology-wide annotation")
+	}
+	if !reflect.DeepEqual(got, topo) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, topo)
+	}
+}
+
+// TestDTOTopologyErrors covers the rejection paths of topology decoding.
+func TestDTOTopologyErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		dto     TopologyDTO
+		wantSub string
+	}{
+		{"empty", TopologyDTO{}, "builtin or layers"},
+		{"both", TopologyDTO{Builtin: "alexnet", Layers: []LayerDTO{{Kind: "gemm", M: 1, N: 1, K: 1}}},
+			"mutually exclusive"},
+		{"unknown builtin", TopologyDTO{Builtin: "lenet9000"}, "lenet9000"},
+		{"unknown kind", TopologyDTO{Layers: []LayerDTO{{Kind: "pool"}}}, `"pool"`},
+		{"invalid layer named", TopologyDTO{Layers: []LayerDTO{
+			{Name: "bad", Kind: "gemm", M: 0, N: 4, K: 4}}}, "bad"},
+		{"bad forced sparsity", TopologyDTO{Builtin: "alexnet", Sparsity: "5:2"}, "5:2"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, _, err := tt.dto.ToTopology()
+			if err == nil {
+				t.Fatalf("ToTopology succeeded, want error containing %q", tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+// TestDTOTopologyForcedSparsity proves a topology-wide annotation flips the
+// forced flag so handlers enable sparse modeling in the configuration.
+func TestDTOTopologyForcedSparsity(t *testing.T) {
+	dto := TopologyDTO{
+		Layers:   []LayerDTO{{Name: "g", Kind: "gemm", M: 8, N: 8, K: 8}},
+		Sparsity: "2:4",
+	}
+	topo, forced, err := dto.ToTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forced {
+		t.Error("forced = false, want true for topology-wide 2:4")
+	}
+	if topo.Layers[0].Sparsity != (scalesim.Sparsity{N: 2, M: 4}) {
+		t.Errorf("layer sparsity = %v, want 2:4", topo.Layers[0].Sparsity)
+	}
+}

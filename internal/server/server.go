@@ -1,0 +1,735 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"scalesim"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Shards is the number of worker lanes; each shard owns one FIFO queue
+	// and one worker goroutine, so Shards bounds how many jobs simulate
+	// concurrently. Non-positive selects GOMAXPROCS.
+	Shards int
+	// QueueDepth bounds each shard's queue; an enqueue into a full shard is
+	// rejected with 503 rather than blocking the client. Non-positive
+	// selects 64.
+	QueueDepth int
+	// Cache is the process-wide layer-result cache every job runs behind,
+	// so repeated shapes across clients hit warm entries. Nil selects the
+	// scalesim.SharedCache.
+	Cache *scalesim.Cache
+	// Parallelism is the default per-job worker-pool width (layers of a
+	// run, points of a sweep). Non-positive selects 1 — the shards are the
+	// intended source of cross-job concurrency; requests may override per
+	// job.
+	Parallelism int
+	// MaxJobs bounds the job history: once exceeded, the oldest finished
+	// jobs (with their retained report payloads) are evicted, so clients
+	// must fetch reports before MaxJobs newer jobs complete. Queued and
+	// running jobs are never evicted. Non-positive selects 1024.
+	MaxJobs int
+}
+
+var (
+	errDraining  = errors.New("server is draining, not accepting jobs")
+	errQueueFull = errors.New("shard queue full, retry later")
+)
+
+// maxRequestBytes bounds request bodies; a topology of a few thousand
+// layers fits comfortably.
+const maxRequestBytes = 8 << 20
+
+type shard struct {
+	queue chan *Job
+}
+
+// Server is the scalesim job server: an async job queue over the Run,
+// Sweep and Explore facades, executed by a bounded sharded worker pool.
+type Server struct {
+	opts  Options
+	cache *scalesim.Cache
+
+	baseCtx   context.Context
+	forceStop context.CancelFunc
+
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*Job
+	order    []string // job IDs in accept order
+	draining bool
+	accepted int64
+
+	shards []*shard
+	wg     sync.WaitGroup
+}
+
+// New builds a Server and starts its shard workers. Call Drain to stop.
+func New(opts Options) *Server {
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 1
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 1024
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = scalesim.SharedCache()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		cache:     cache,
+		baseCtx:   ctx,
+		forceStop: cancel,
+		jobs:      make(map[string]*Job),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		sh := &shard{queue: make(chan *Job, opts.QueueDepth)}
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go s.worker(sh)
+	}
+	return s
+}
+
+// Shards returns the resolved worker-shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// worker drains one shard's queue. Jobs canceled while queued are skipped
+// by tryStart.
+func (s *Server) worker(sh *shard) {
+	defer s.wg.Done()
+	for j := range sh.queue {
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		if !j.tryStart(cancel) {
+			cancel()
+			continue
+		}
+		payload, cache, err := j.run(ctx, j)
+		cancel()
+		j.finish(payload, cache, err)
+	}
+}
+
+// Drain stops accepting new jobs, lets queued and running jobs finish, and
+// returns when every worker has exited. If ctx expires first, running jobs
+// are canceled and Drain returns ctx's error after they unwind.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.forceStop()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// enqueue registers the job and hands it to a shard: round-robin from the
+// accept counter, probing forward past full shards so one saturated lane
+// cannot block admission while others have room. Only when every shard is
+// full does the job bounce with 503.
+func (s *Server) enqueue(kind string, run func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error)) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	id := fmt.Sprintf("job-%06d", s.seq+1)
+	j := &Job{id: id, kind: kind, state: JobQueued, created: time.Now(), run: run}
+	placed := false
+	for k := 0; k < len(s.shards); k++ {
+		shardIdx := (s.seq + k) % len(s.shards)
+		select {
+		case s.shards[shardIdx].queue <- j:
+			j.shard = shardIdx
+			placed = true
+		default:
+			continue
+		}
+		break
+	}
+	if !placed {
+		return nil, errQueueFull
+	}
+	s.seq++
+	s.accepted++
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.evictOldJobsLocked()
+	return j, nil
+}
+
+// evictOldJobsLocked drops the oldest *terminal* jobs (and their retained
+// report payloads) once the history exceeds MaxJobs, so a long-lived
+// server does not accumulate every payload it ever rendered. Queued and
+// running jobs are never evicted, whatever their age.
+func (s *Server) evictOldJobsLocked() {
+	excess := len(s.order) - s.opts.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if excess > 0 && s.jobs[id].State().Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// lookup finds a job by ID.
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/reports", s.handleReports)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response write errors are the client's problem
+}
+
+// httpError writes an {"error": ...} response. Validation and parse errors
+// pass through verbatim so clients see the offending field by name.
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// readBody slurps a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return nil, errors.New("empty request body")
+	}
+	return body, nil
+}
+
+// requestError maps a request-decoding failure to its status code: 413 for
+// an oversized body, 400 for everything else.
+func requestError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	httpError(w, http.StatusBadRequest, err)
+}
+
+// enableForcedSparsity turns sparse modeling on for a topology-wide N:M
+// annotation and re-validates, since the sparsity section was validated
+// with the model off.
+func enableForcedSparsity(cfg *scalesim.Config, forced bool) error {
+	if !forced {
+		return nil
+	}
+	cfg.Sparsity.Enabled = true
+	return cfg.Validate()
+}
+
+// enqueueError maps queue-admission failures to HTTP status codes.
+func enqueueError(w http.ResponseWriter, err error) {
+	code := http.StatusServiceUnavailable
+	httpError(w, code, err)
+}
+
+// parallelism resolves a request's per-job pool width against the server
+// default.
+func (s *Server) parallelism(req int) int {
+	if req > 0 {
+		return req
+	}
+	return s.opts.Parallelism
+}
+
+// handleRun enqueues a run job: one topology simulated under one
+// configuration.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		requestError(w, err)
+		return
+	}
+	var req RunRequest
+	if err := decodeRequest(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := DecodeConfig(req.Config)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	topo, forcedSparse, err := req.Topology.ToTopology()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := enableForcedSparsity(&cfg, forcedSparse); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	par := s.parallelism(req.Parallelism)
+	job, err := s.enqueue("run", func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
+		res, err := scalesim.New(cfg).Run(ctx, topo,
+			scalesim.WithCache(s.cache),
+			scalesim.WithParallelism(par),
+			scalesim.WithProgress(func(p scalesim.LayerProgress) {
+				j.setProgress(p.Done, p.Total)
+			}))
+		if err != nil {
+			return nil, scalesim.RunCacheStats{}, err
+		}
+		files, err := renderReportSet(res.Reports())
+		if err != nil {
+			return nil, res.CacheStats, err
+		}
+		payload, err := marshalPayload(RunReportsDTO{Kind: "run", Reports: files})
+		return payload, res.CacheStats, err
+	})
+	if err != nil {
+		enqueueError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.dto())
+}
+
+// handleSweep enqueues a sweep job: many (config, topology) points on one
+// worker pool behind the shared cache.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		requestError(w, err)
+		return
+	}
+	var req SweepRequest
+	if err := decodeRequest(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Points) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("sweep: empty points list"))
+		return
+	}
+	pts := make([]scalesim.SweepPoint, len(req.Points))
+	for i := range req.Points {
+		p := &req.Points[i]
+		cfg, err := DecodeConfig(p.Config)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("points[%d]: %w", i, err))
+			return
+		}
+		topo, forcedSparse, err := p.Topology.ToTopology()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("points[%d]: %w", i, err))
+			return
+		}
+		if err := enableForcedSparsity(&cfg, forcedSparse); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("points[%d]: %w", i, err))
+			return
+		}
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("point%03d", i)
+		}
+		pts[i] = scalesim.SweepPoint{Name: name, Config: cfg, Topology: topo}
+	}
+	par := s.parallelism(req.Parallelism)
+	job, err := s.enqueue("sweep", func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
+		results, err := scalesim.Sweep(ctx, pts,
+			scalesim.WithCache(s.cache),
+			scalesim.WithParallelism(par),
+			scalesim.WithSweepProgress(func(p scalesim.SweepPointProgress) {
+				j.setProgress(p.Done, p.Total)
+			}))
+		if err != nil {
+			return nil, scalesim.RunCacheStats{}, err
+		}
+		out := SweepReportsDTO{Kind: "sweep", Points: make([]SweepPointReportsDTO, len(results))}
+		var cache scalesim.RunCacheStats
+		for i, sr := range results {
+			out.Points[i].Name = sr.Point.Name
+			if sr.Err != nil {
+				out.Points[i].Error = sr.Err.Error()
+				continue
+			}
+			cache.Hits += sr.Result.CacheStats.Hits
+			cache.Misses += sr.Result.CacheStats.Misses
+			files, err := renderReportSet(sr.Result.Reports())
+			if err != nil {
+				return nil, cache, err
+			}
+			out.Points[i].Reports = files
+		}
+		payload, err := marshalPayload(out)
+		return payload, cache, err
+	})
+	if err != nil {
+		enqueueError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.dto())
+}
+
+// handleExplore enqueues a design-space exploration job. Space and
+// objective specs use the explore CLI's string grammar.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		requestError(w, err)
+		return
+	}
+	var req ExploreRequest
+	if err := decodeRequest(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := DecodeConfig(req.Config)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	topo, forcedSparse, err := req.Topology.ToTopology()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := enableForcedSparsity(&cfg, forcedSparse); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Space == "" {
+		httpError(w, http.StatusBadRequest, errors.New("explore: missing space"))
+		return
+	}
+	space, err := scalesim.ParseSpace(req.Space)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	objSpec := req.Objectives
+	if objSpec == "" {
+		objSpec = "cycles"
+	}
+	objs, err := scalesim.ParseObjectives(objSpec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	strategy := scalesim.AutoSearch
+	if req.Strategy != "" {
+		strategy = scalesim.SearchStrategy(strings.ToLower(strings.TrimSpace(req.Strategy)))
+		switch strategy {
+		case scalesim.GridSearch, scalesim.RandomSearch, scalesim.EvolutionSearch, scalesim.AutoSearch:
+		default:
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("explore: unknown strategy %q (valid: grid, random, evolve, auto)", req.Strategy))
+			return
+		}
+	}
+	budget := req.Budget
+	if budget <= 0 {
+		budget = 64
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	batch := req.Batch
+	if batch <= 0 {
+		batch = 8
+	}
+	par := s.parallelism(req.Parallelism)
+	job, err := s.enqueue("explore", func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
+		frontier, err := scalesim.Explore(ctx, cfg, topo, space,
+			scalesim.WithObjectives(objs...),
+			scalesim.WithSearchStrategy(strategy),
+			scalesim.WithEvalBudget(budget),
+			scalesim.WithSeed(seed),
+			scalesim.WithBatchSize(batch),
+			scalesim.WithExploreParallelism(par),
+			scalesim.WithExploreCache(s.cache),
+			scalesim.WithExploreProgress(func(p scalesim.ExploreProgress) {
+				j.setProgress(p.Evaluated, p.Budget)
+			}))
+		if err != nil {
+			var cache scalesim.RunCacheStats
+			if frontier != nil {
+				cache = frontier.CacheStats
+			}
+			return nil, cache, err
+		}
+		files, err := renderReports(frontier.CSVReport(), frontier.JSONReport())
+		if err != nil {
+			return nil, frontier.CacheStats, err
+		}
+		payload, err := marshalPayload(ExploreReportsDTO{
+			Kind:       "explore",
+			Strategy:   frontier.Strategy,
+			Seed:       frontier.Seed,
+			Evaluated:  frontier.Evaluated,
+			Infeasible: frontier.Infeasible,
+			Reports:    files,
+		})
+		return payload, frontier.CacheStats, err
+	})
+	if err != nil {
+		enqueueError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.dto())
+}
+
+// handleJobs lists all jobs in accept order.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := struct {
+		Jobs []JobDTO `json:"jobs"`
+	}{Jobs: make([]JobDTO, len(jobs))}
+	for i, j := range jobs {
+		out.Jobs[i] = j.dto()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleJob returns one job's status.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.dto())
+}
+
+// handleCancel cancels a queued or running job.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	if !j.requestCancel() {
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s already %s", j.ID(), j.State()))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.dto())
+}
+
+// handleReports returns the rendered reports payload of a done job. The
+// payload bytes are stored at completion, so identical jobs return
+// byte-identical responses.
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	payload, ok := j.reports()
+	if !ok {
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s, reports exist only for done jobs", j.ID(), j.State()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload) //nolint:errcheck
+}
+
+// handleEvents streams job snapshots as server-sent events: one "job"
+// event per state/progress change and a terminal "done" event when the job
+// finishes. Clients that prefer polling use GET /v1/jobs/{id} instead.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, errors.New("streaming unsupported by this connection"))
+		return
+	}
+	ch, unsubscribe := j.subscribe()
+	defer unsubscribe()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				fmt.Fprintf(w, "event: done\ndata: %s\n\n", j.eventJSON())
+				flusher.Flush()
+				return
+			}
+			fmt.Fprintf(w, "event: job\ndata: %s\n\n", ev)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleHealth reports liveness.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": draining,
+		"jobs":     jobs,
+		"shards":   len(s.shards),
+	})
+}
+
+// handleMetrics exposes job and shared-cache counters in the Prometheus
+// text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	states := map[JobState]int{}
+	for _, j := range s.jobs {
+		states[j.State()]++
+	}
+	accepted := s.accepted
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	queueLens := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		queueLens[i] = len(sh.queue)
+	}
+	s.mu.Unlock()
+
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# HELP scalesim_jobs_accepted_total Jobs accepted since server start.\n")
+	fmt.Fprintf(&b, "# TYPE scalesim_jobs_accepted_total counter\n")
+	fmt.Fprintf(&b, "scalesim_jobs_accepted_total %d\n", accepted)
+	fmt.Fprintf(&b, "# HELP scalesim_jobs Jobs currently tracked, by state.\n")
+	fmt.Fprintf(&b, "# TYPE scalesim_jobs gauge\n")
+	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {
+		fmt.Fprintf(&b, "scalesim_jobs{state=%q} %d\n", st, states[st])
+	}
+	fmt.Fprintf(&b, "# HELP scalesim_shard_queue_length Queued jobs per shard.\n")
+	fmt.Fprintf(&b, "# TYPE scalesim_shard_queue_length gauge\n")
+	for i, n := range queueLens {
+		fmt.Fprintf(&b, "scalesim_shard_queue_length{shard=\"%d\"} %d\n", i, n)
+	}
+	fmt.Fprintf(&b, "# HELP scalesim_draining Whether the server is draining (1) or accepting (0).\n")
+	fmt.Fprintf(&b, "# TYPE scalesim_draining gauge\n")
+	fmt.Fprintf(&b, "scalesim_draining %d\n", draining)
+
+	cs := s.cache.Stats()
+	fmt.Fprintf(&b, "# HELP scalesim_cache_hits_total Shared layer-cache hits.\n")
+	fmt.Fprintf(&b, "# TYPE scalesim_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "scalesim_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(&b, "# HELP scalesim_cache_misses_total Shared layer-cache misses.\n")
+	fmt.Fprintf(&b, "# TYPE scalesim_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "scalesim_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(&b, "# HELP scalesim_cache_evictions_total Shared layer-cache evictions.\n")
+	fmt.Fprintf(&b, "# TYPE scalesim_cache_evictions_total counter\n")
+	fmt.Fprintf(&b, "scalesim_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(&b, "# HELP scalesim_cache_entries Shared layer-cache current entries.\n")
+	fmt.Fprintf(&b, "# TYPE scalesim_cache_entries gauge\n")
+	fmt.Fprintf(&b, "scalesim_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(&b, "# HELP scalesim_cache_bytes Shared layer-cache accounted bytes.\n")
+	fmt.Fprintf(&b, "# TYPE scalesim_cache_bytes gauge\n")
+	fmt.Fprintf(&b, "scalesim_cache_bytes %d\n", cs.Bytes)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b.Bytes()) //nolint:errcheck
+}
+
+// renderReportSet renders every report of a set into memory in canonical
+// order.
+func renderReportSet(rs *scalesim.ReportSet) ([]ReportFileDTO, error) {
+	return renderReports(rs.All()...)
+}
+
+// renderReports renders reports into memory in the given order.
+func renderReports(reports ...*scalesim.Report) ([]ReportFileDTO, error) {
+	var files []ReportFileDTO
+	for _, rep := range reports {
+		var buf bytes.Buffer
+		if _, err := rep.WriteTo(&buf); err != nil {
+			return nil, fmt.Errorf("rendering %s: %w", rep.Filename(), err)
+		}
+		files = append(files, ReportFileDTO{Name: rep.Filename(), Content: buf.String()})
+	}
+	return files, nil
+}
+
+// marshalPayload renders a reports payload deterministically: identical
+// results yield byte-identical payloads.
+func marshalPayload(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
+}

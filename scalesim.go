@@ -61,6 +61,11 @@
 //		scalesim.WithObjectives(scalesim.CyclesObjective(), scalesim.EnergyObjective()),
 //		scalesim.WithEvalBudget(64))
 //	err = frontier.WriteAll("out") // FRONTIER.csv + FRONTIER.json
+//
+// For callers that cannot link this package, `scalesim serve` (backed by
+// internal/server) exposes Run, Sweep and Explore as an HTTP/JSON job
+// service whose jobs all share one process-wide cache; see the README's
+// "Serving" section.
 package scalesim
 
 import (
