@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scalesim/internal/diskstore"
 	"scalesim/internal/energy"
 	"scalesim/internal/simcache"
 )
@@ -37,6 +38,11 @@ type CacheStats = simcache.Stats
 // every hit, so callers may freely mutate results.
 type Cache struct {
 	c *simcache.Cache
+
+	// storeMu guards the optional persistent second tier (AttachStore).
+	storeMu  sync.Mutex
+	store    *diskstore.Store
+	storeDir string
 }
 
 // NewCache returns an empty cache bounded to at most maxEntries cached

@@ -11,7 +11,8 @@
 //	    -objectives cycles,energy -strategy random -budget 48 -seed 1 \
 //	    -outdir ./out
 //	scalesim bench -bench 'DRAM|Fig9|Fig10' -tag post -outdir results
-//	scalesim serve -addr 127.0.0.1:8080 -shards 4
+//	scalesim serve -addr 127.0.0.1:8080 -shards 4 -store ./cache
+//	scalesim cache verify -store ./cache
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 		err = runBench(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "serve":
 		err = runServe(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "cache":
+		err = runCache(os.Args[2:])
 	default:
 		err = run()
 	}

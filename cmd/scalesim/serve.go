@@ -9,10 +9,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"scalesim"
+	"scalesim/internal/coordinator"
 	"scalesim/internal/server"
 )
 
@@ -21,8 +23,17 @@ import (
 // layer-result cache, so repeated shapes across clients hit warm entries;
 // /metrics exposes the cache and job counters.
 //
+// With -store the cache gains a persistent disk tier: results survive
+// restarts, and a restarted worker answers previously-seen layers from
+// disk without simulating. With -coordinator -workers=<url,url,...> the
+// process accepts the same job API but dispatches jobs to the worker fleet
+// instead of simulating, with payload-store reuse, server-side
+// single-flight, health-checked routing and retry-with-backoff rerouting
+// (see internal/coordinator); -store then persists rendered payloads.
+//
 // On SIGINT/SIGTERM the server stops accepting connections, drains queued
-// and running jobs (bounded by -drain-timeout) and exits 0.
+// and running jobs (bounded by -drain-timeout), snapshots the store and
+// exits 0.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("scalesim serve", flag.ExitOnError)
 	var (
@@ -35,18 +46,49 @@ func runServe(args []string) error {
 		maxJobs      = fs.Int("max-jobs", 0, "finished jobs retained for report fetching before the oldest are evicted (0 = default 1024)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		portFile     = fs.String("port-file", "", "write the bound listen address to this file (for scripts that pass port 0)")
+		storeDir     = fs.String("store", "", "persistent result-store directory (worker: layer results; coordinator: payloads); empty = memory only")
+		storeMB      = fs.Int("store-mb", 0, "store log capacity in MiB before GC (0 = default 1024)")
+		coordMode    = fs.Bool("coordinator", false, "dispatch jobs to -workers instead of simulating in-process")
+		workerList   = fs.String("workers", "", "comma-separated worker base URLs (required with -coordinator)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := server.New(server.Options{
+	opts := server.Options{
 		Shards:      *shards,
 		QueueDepth:  *queueDepth,
 		Parallelism: *parallelism,
 		MaxJobs:     *maxJobs,
 		Cache:       scalesim.NewCache(*cacheEntries, int64(*cacheMB)<<20),
-	})
+	}
+	var coord *coordinator.Coordinator
+	if *coordMode {
+		var workers []string
+		for _, u := range strings.Split(*workerList, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workers = append(workers, strings.TrimRight(u, "/"))
+			}
+		}
+		var err error
+		coord, err = coordinator.New(coordinator.Options{
+			Workers:    workers,
+			StoreDir:   *storeDir,
+			StoreBytes: int64(*storeMB) << 20,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close() //nolint:errcheck // drained below; this covers early error returns
+		opts.Executor = coord
+	} else if *storeDir != "" {
+		if err := opts.Cache.AttachStore(*storeDir, int64(*storeMB)<<20); err != nil {
+			return err
+		}
+		defer opts.Cache.CloseStore() //nolint:errcheck
+	}
+
+	srv := server.New(opts)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -65,8 +107,17 @@ func runServe(args []string) error {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	fmt.Printf("scalesim serve: listening on http://%s (shards=%d queue=%d)\n",
-		bound, srv.Shards(), *queueDepth)
+	switch {
+	case coord != nil:
+		fmt.Printf("scalesim serve: coordinating %d workers on http://%s (store=%q)\n",
+			len(coord.Workers()), bound, *storeDir)
+	case *storeDir != "":
+		fmt.Printf("scalesim serve: listening on http://%s (shards=%d queue=%d store=%q)\n",
+			bound, srv.Shards(), *queueDepth, *storeDir)
+	default:
+		fmt.Printf("scalesim serve: listening on http://%s (shards=%d queue=%d)\n",
+			bound, srv.Shards(), *queueDepth)
+	}
 
 	select {
 	case err := <-serveErr:

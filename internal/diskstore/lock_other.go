@@ -1,0 +1,24 @@
+//go:build !unix
+
+package diskstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// Non-unix platforms get no advisory locking; the LOCK file is still
+// created so the directory layout is identical everywhere.
+func acquireLock(path string, readOnly bool) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	return f, nil
+}
+
+func releaseLock(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,38 @@
+//go:build unix
+
+package diskstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireLock takes an advisory flock on the store's LOCK file: exclusive
+// for writable opens, shared for read-only, never blocking — a held lock
+// means another live process owns the directory, and waiting for it would
+// hide that misconfiguration. Advisory locks vanish with the process, so a
+// crash never wedges the store.
+func acquireLock(path string, readOnly bool) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	how := syscall.LOCK_EX
+	if readOnly {
+		how = syscall.LOCK_SH
+	}
+	if err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %s is locked by another process: %w", path, err)
+	}
+	return f, nil
+}
+
+func releaseLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

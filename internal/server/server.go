@@ -40,6 +40,26 @@ type Options struct {
 	// must fetch reports before MaxJobs newer jobs complete. Queued and
 	// running jobs are never evicted. Non-positive selects 1024.
 	MaxJobs int
+	// Executor, when non-nil, replaces in-process simulation: every
+	// accepted job — after this server's own request validation — is handed
+	// to it with the job kind and raw request body, and its returned bytes
+	// become the job's reports payload verbatim. Coordinator mode plugs in
+	// here (see internal/coordinator); the job queue, states, events and
+	// report endpoints behave identically either way.
+	Executor Executor
+}
+
+// Executor runs accepted jobs somewhere other than this process.
+// Implementations must preserve the determinism bar: identical requests
+// yield byte-identical payloads.
+type Executor interface {
+	Execute(ctx context.Context, kind string, body []byte) (payload []byte, cache scalesim.RunCacheStats, err error)
+}
+
+// MetricsWriter is optionally implemented by an Executor to splice its own
+// counters into GET /metrics.
+type MetricsWriter interface {
+	WriteMetrics(w io.Writer)
 }
 
 var (
@@ -302,6 +322,19 @@ func (s *Server) parallelism(req int) int {
 	return s.opts.Parallelism
 }
 
+// executorRun wraps the configured Executor as a job run closure, or
+// returns nil when jobs execute in-process. Handlers call it only after
+// the request passed validation, so the Executor sees well-formed bodies.
+func (s *Server) executorRun(kind string, body []byte) func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
+	ex := s.opts.Executor
+	if ex == nil {
+		return nil
+	}
+	return func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
+		return ex.Execute(ctx, kind, body)
+	}
+}
+
 // handleRun enqueues a run job: one topology simulated under one
 // configuration.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -329,8 +362,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	par := s.parallelism(req.Parallelism)
-	job, err := s.enqueue("run", func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
+	run := s.executorRun("run", body)
+	if run == nil {
+		run = s.localRun(cfg, topo, s.parallelism(req.Parallelism))
+	}
+	job, err := s.enqueue("run", run)
+	if err != nil {
+		enqueueError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.dto())
+}
+
+// localRun builds the in-process run-job closure.
+func (s *Server) localRun(cfg scalesim.Config, topo *scalesim.Topology, par int) func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
+	return func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
 		res, err := scalesim.New(cfg).Run(ctx, topo,
 			scalesim.WithCache(s.cache),
 			scalesim.WithParallelism(par),
@@ -346,12 +392,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		payload, err := marshalPayload(RunReportsDTO{Kind: "run", Reports: files})
 		return payload, res.CacheStats, err
-	})
-	if err != nil {
-		enqueueError(w, err)
-		return
 	}
-	writeJSON(w, http.StatusAccepted, job.dto())
 }
 
 // handleSweep enqueues a sweep job: many (config, topology) points on one
@@ -394,8 +435,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		pts[i] = scalesim.SweepPoint{Name: name, Config: cfg, Topology: topo}
 	}
-	par := s.parallelism(req.Parallelism)
-	job, err := s.enqueue("sweep", func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
+	run := s.executorRun("sweep", body)
+	if run == nil {
+		run = s.localSweep(pts, s.parallelism(req.Parallelism))
+	}
+	job, err := s.enqueue("sweep", run)
+	if err != nil {
+		enqueueError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.dto())
+}
+
+// localSweep builds the in-process sweep-job closure.
+func (s *Server) localSweep(pts []scalesim.SweepPoint, par int) func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
+	return func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
 		results, err := scalesim.Sweep(ctx, pts,
 			scalesim.WithCache(s.cache),
 			scalesim.WithParallelism(par),
@@ -423,12 +477,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		payload, err := marshalPayload(out)
 		return payload, cache, err
-	})
-	if err != nil {
-		enqueueError(w, err)
-		return
 	}
-	writeJSON(w, http.StatusAccepted, job.dto())
 }
 
 // handleExplore enqueues a design-space exploration job. Space and
@@ -499,8 +548,23 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if batch <= 0 {
 		batch = 8
 	}
-	par := s.parallelism(req.Parallelism)
-	job, err := s.enqueue("explore", func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
+	run := s.executorRun("explore", body)
+	if run == nil {
+		run = s.localExplore(cfg, topo, space, objs, strategy, budget, seed, batch, s.parallelism(req.Parallelism))
+	}
+	job, err := s.enqueue("explore", run)
+	if err != nil {
+		enqueueError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.dto())
+}
+
+// localExplore builds the in-process explore-job closure.
+func (s *Server) localExplore(cfg scalesim.Config, topo *scalesim.Topology, space scalesim.Space,
+	objs []scalesim.Objective, strategy scalesim.SearchStrategy, budget int, seed int64, batch, par int,
+) func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
+	return func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
 		frontier, err := scalesim.Explore(ctx, cfg, topo, space,
 			scalesim.WithObjectives(objs...),
 			scalesim.WithSearchStrategy(strategy),
@@ -532,12 +596,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			Reports:    files,
 		})
 		return payload, frontier.CacheStats, err
-	})
-	if err != nil {
-		enqueueError(w, err)
-		return
 	}
-	writeJSON(w, http.StatusAccepted, job.dto())
 }
 
 // handleJobs lists all jobs in accept order.
@@ -703,6 +762,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP scalesim_cache_bytes Shared layer-cache accounted bytes.\n")
 	fmt.Fprintf(&b, "# TYPE scalesim_cache_bytes gauge\n")
 	fmt.Fprintf(&b, "scalesim_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(&b, "# HELP scalesim_cache_store_hits_total Memory misses answered by the persistent store tier.\n")
+	fmt.Fprintf(&b, "# TYPE scalesim_cache_store_hits_total counter\n")
+	fmt.Fprintf(&b, "scalesim_cache_store_hits_total %d\n", cs.StoreHits)
+	fmt.Fprintf(&b, "# HELP scalesim_cache_store_misses_total Lookups that missed both memory and the store tier.\n")
+	fmt.Fprintf(&b, "# TYPE scalesim_cache_store_misses_total counter\n")
+	fmt.Fprintf(&b, "scalesim_cache_store_misses_total %d\n", cs.StoreMisses)
+
+	if ss, ok := s.cache.StoreStats(); ok {
+		fmt.Fprintf(&b, "# HELP scalesim_store_entries Persistent store live entries.\n")
+		fmt.Fprintf(&b, "# TYPE scalesim_store_entries gauge\n")
+		fmt.Fprintf(&b, "scalesim_store_entries %d\n", ss.Entries)
+		fmt.Fprintf(&b, "# HELP scalesim_store_log_bytes Persistent store log size.\n")
+		fmt.Fprintf(&b, "# TYPE scalesim_store_log_bytes gauge\n")
+		fmt.Fprintf(&b, "scalesim_store_log_bytes %d\n", ss.LogBytes)
+		fmt.Fprintf(&b, "# HELP scalesim_store_hits_total Persistent store lookup hits since open.\n")
+		fmt.Fprintf(&b, "# TYPE scalesim_store_hits_total counter\n")
+		fmt.Fprintf(&b, "scalesim_store_hits_total %d\n", ss.Hits)
+		fmt.Fprintf(&b, "# HELP scalesim_store_misses_total Persistent store lookup misses since open.\n")
+		fmt.Fprintf(&b, "# TYPE scalesim_store_misses_total counter\n")
+		fmt.Fprintf(&b, "scalesim_store_misses_total %d\n", ss.Misses)
+		fmt.Fprintf(&b, "# HELP scalesim_store_put_bytes_total Payload bytes appended to the store since open.\n")
+		fmt.Fprintf(&b, "# TYPE scalesim_store_put_bytes_total counter\n")
+		fmt.Fprintf(&b, "scalesim_store_put_bytes_total %d\n", ss.PutBytes)
+		fmt.Fprintf(&b, "# HELP scalesim_store_snapshot_age_seconds Seconds since the last index snapshot (-1 when none).\n")
+		fmt.Fprintf(&b, "# TYPE scalesim_store_snapshot_age_seconds gauge\n")
+		age := int64(-1)
+		if ss.SnapshotUnix > 0 {
+			age = time.Now().Unix() - ss.SnapshotUnix
+		}
+		fmt.Fprintf(&b, "scalesim_store_snapshot_age_seconds %d\n", age)
+	}
+	if mw, ok := s.opts.Executor.(MetricsWriter); ok {
+		mw.WriteMetrics(&b)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)

@@ -592,6 +592,8 @@ func TestServerHealthAndMetrics(t *testing.T) {
 		`scalesim_jobs{state="done"} 2`,
 		"scalesim_cache_misses_total 2",
 		"scalesim_cache_hits_total 14",
+		"scalesim_cache_store_hits_total 0",
+		"scalesim_cache_store_misses_total 0",
 		"scalesim_draining 0",
 	} {
 		if !strings.Contains(metrics, want) {
@@ -615,6 +617,80 @@ func TestServerHealthAndMetrics(t *testing.T) {
 
 	if code, _ := getJSON(t, ts.URL+"/v1/jobs/job-999999"); code != http.StatusNotFound {
 		t.Errorf("unknown job = %d, want 404", code)
+	}
+}
+
+// TestServerStoreWarmRestart simulates `serve -store` dying and coming
+// back: a second server with a fresh cache over the same store directory
+// must answer a previously-seen job entirely from disk — zero simulation
+// misses — and report the store tier in /metrics.
+func TestServerStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	boot := func() (*Server, *httptest.Server, *scalesim.Cache) {
+		cache := scalesim.NewCache(0, 0)
+		if err := cache.AttachStore(dir, 0); err != nil {
+			t.Fatal(err)
+		}
+		s := New(Options{Shards: 2, QueueDepth: 16, Cache: cache})
+		ts := httptest.NewServer(s.Handler())
+		return s, ts, cache
+	}
+	shutdown := func(s *Server, ts *httptest.Server, cache *scalesim.Cache) {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)       //nolint:errcheck
+		cache.CloseStore() //nolint:errcheck
+	}
+
+	s1, ts1, cache1 := boot()
+	job := enqueueJob(t, ts1.URL, "/v1/runs", smallRunBody)
+	done := waitJob(t, ts1.URL, job.ID)
+	if done.State != string(JobDone) {
+		t.Fatalf("cold job finished %s", done.State)
+	}
+	if done.CacheStats.Misses == 0 {
+		t.Fatalf("cold job stats %+v, want real simulation misses", done.CacheStats)
+	}
+	reference := fetchReports(t, ts1.URL, job.ID)
+	shutdown(s1, ts1, cache1)
+
+	s2, ts2, cache2 := boot()
+	defer shutdown(s2, ts2, cache2)
+	job = enqueueJob(t, ts2.URL, "/v1/runs", smallRunBody)
+	done = waitJob(t, ts2.URL, job.ID)
+	if done.State != string(JobDone) {
+		t.Fatalf("warm job finished %s", done.State)
+	}
+	if done.CacheStats.Misses != 0 || done.CacheStats.Hits == 0 {
+		t.Errorf("warm job stats %+v, want 0 misses (all layers from disk)", done.CacheStats)
+	}
+	if payload := fetchReports(t, ts2.URL, job.ID); !bytes.Equal(payload, reference) {
+		t.Error("disk-served payload differs from the pre-restart payload")
+	}
+
+	code, b := getJSON(t, ts2.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	metrics := string(b)
+	for _, want := range []string{
+		"scalesim_cache_misses_total 0",
+		"scalesim_store_entries ",
+		"scalesim_store_hits_total ",
+		"scalesim_store_snapshot_age_seconds ",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if !strings.Contains(metrics, "scalesim_cache_store_hits_total 2") {
+		t.Errorf("metrics missing scalesim_cache_store_hits_total 2 (two distinct shapes from disk):\n%s", metrics)
+	}
+	cs := cache2.Stats()
+	if cs.StoreHits != 2 {
+		t.Errorf("StoreHits = %d, want 2 (one per distinct layer shape)", cs.StoreHits)
 	}
 }
 

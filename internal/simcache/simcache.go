@@ -29,11 +29,20 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Key is a content-addressed cache key: a SHA-256 digest of the
 // fingerprinted simulation inputs.
 type Key [sha256.Size]byte
+
+// SchemaVersion is the cache-format epoch, mixed into every Hasher key.
+// Bump it whenever the meaning of a cached value changes — a new field in
+// a cached result, a fixed simulation bug, a codec change — and every key
+// derived by the new binary diverges from the old ones, so persisted
+// entries written by older binaries (see internal/diskstore) become
+// unreachable instead of being decoded into the wrong shape.
+const SchemaVersion = 1
 
 // Hasher accumulates simulation inputs into a Key. The zero value is not
 // usable; call NewHasher.
@@ -42,8 +51,17 @@ type Hasher struct {
 	buf [10]byte
 }
 
-// NewHasher returns an empty Hasher.
-func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+// NewHasher returns a Hasher seeded with SchemaVersion.
+func NewHasher() *Hasher { return newHasher(SchemaVersion) }
+
+// newHasher seeds a Hasher with an explicit schema version; tests use it to
+// prove a version bump changes every derived key.
+func newHasher(version uint64) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.String("scalesim/schema")
+	h.Uint(version)
+	return h
+}
 
 // Sum finalizes the accumulated input into a Key. The Hasher must not be
 // reused afterwards.
@@ -216,6 +234,11 @@ type Stats struct {
 	// Entries and Bytes describe current occupancy.
 	Entries int
 	Bytes   int64
+	// StoreHits and StoreMisses count second-tier lookups: a StoreHit is a
+	// memory miss answered from the attached Tier (and counted in Hits as
+	// well); a StoreMiss fell through to a real computation. Both stay zero
+	// without a Tier.
+	StoreHits, StoreMisses int64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -233,6 +256,48 @@ const (
 	DefaultMaxBytes   = 256 << 20 // 256 MiB
 )
 
+// Tier is a second, typically persistent, storage layer behind the
+// in-memory LRU (see internal/diskstore). Lookups consult it on a memory
+// miss; Put writes through to it. Implementations must be safe for
+// concurrent use and must treat both calls as best-effort: a Tier that
+// fails internally reports a miss / drops the write rather than erroring.
+type Tier interface {
+	// GetBlob returns the payload stored under k, if any.
+	GetBlob(k Key) ([]byte, bool)
+	// PutBlob persists a payload under k. Content-addressing makes
+	// re-putting an existing key a no-op.
+	PutBlob(k Key, payload []byte)
+}
+
+// Codec translates cached values to and from Tier payloads. Encode returns
+// ok=false for values that should stay memory-only (unknown or unexported
+// types); Decode returns the value plus its accounted in-memory size.
+type Codec interface {
+	Encode(v any) (payload []byte, ok bool)
+	Decode(payload []byte) (v any, size int64, ok bool)
+}
+
+// tierCodec pairs an attached Tier with its Codec. Held behind an atomic
+// pointer so a tier can be attached or detached while lookups are in
+// flight on other goroutines.
+type tierCodec struct {
+	t Tier
+	c Codec
+}
+
+// SetTier attaches a second storage tier and its codec (nil t detaches).
+// Lookups then go memory → tier → miss, and every encodable Put writes
+// through. Attachment is atomic with respect to concurrent lookups, but
+// in-flight operations that already loaded the previous tier finish
+// against it.
+func (c *Cache) SetTier(t Tier, codec Codec) {
+	if t == nil {
+		c.tier.Store(nil)
+		return
+	}
+	c.tier.Store(&tierCodec{t: t, c: codec})
+}
+
 // Cache is a thread-safe LRU keyed by content-addressed Keys and bounded
 // by both entry count and accounted byte size.
 type Cache struct {
@@ -245,6 +310,11 @@ type Cache struct {
 	hits       int64
 	misses     int64
 	evictions  int64
+	storeHits  int64
+	storeMiss  int64
+
+	// tier is the optional second storage layer with its codec (SetTier).
+	tier atomic.Pointer[tierCodec]
 
 	// flightMu guards the single-flight table used by Acquire/Release.
 	// Separate from mu: Release must never contend with Get/Put hot paths
@@ -332,6 +402,14 @@ func (c *Cache) Acquire(ctx context.Context, k Key) (any, bool, error) {
 			ch = make(chan struct{})
 			c.inflight[k] = ch
 			c.flightMu.Unlock()
+			// Holding the single-flight slot, consult the second tier:
+			// exactly one goroutine pays the disk read + decode per key,
+			// coalesced waiters take the promoted in-memory entry.
+			if v, ok := c.tierLookup(k); ok {
+				c.Release(k)
+				c.count(true)
+				return v, true, nil
+			}
 			c.count(false)
 			return nil, false, nil
 		}
@@ -367,26 +445,68 @@ func (c *Cache) MaxEntryBytes() int64 { return c.maxBytes / 2 }
 
 // Get returns the value stored under k and marks it most recently used.
 // The returned value is the cached instance itself: callers must copy it
-// before any mutation.
+// before any mutation. A memory miss consults the attached Tier, if any,
+// promoting a decoded disk entry into memory before returning it.
 func (c *Cache) Get(k Key) (any, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[k]
-	if !ok {
-		c.misses++
+	if el, ok := c.items[k]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+	if v, ok := c.tierLookup(k); ok {
+		c.count(true)
+		return v, true
+	}
+	c.count(false)
+	return nil, false
+}
+
+// tierLookup consults the second tier on a memory miss: a decodable
+// payload is promoted into memory (without re-writing through) and
+// returned. Counts one StoreHit or StoreMiss per call.
+func (c *Cache) tierLookup(k Key) (any, bool) {
+	tc := c.tier.Load()
+	if tc == nil {
 		return nil, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*entry).val, true
+	payload, ok := tc.t.GetBlob(k)
+	if ok {
+		if v, size, ok := tc.c.Decode(payload); ok {
+			c.store(k, v, size)
+			c.mu.Lock()
+			c.storeHits++
+			c.mu.Unlock()
+			return v, true
+		}
+	}
+	c.mu.Lock()
+	c.storeMiss++
+	c.mu.Unlock()
+	return nil, false
 }
 
 // Put stores v under k with the given accounted size, evicting
 // least-recently-used entries until both bounds hold. Values larger than
-// half the byte budget are not cached at all (they would evict everything
-// else for a single entry). Storing under an existing key replaces the
-// value.
+// half the byte budget are not cached in memory (they would evict
+// everything else for a single entry). Storing under an existing key
+// replaces the value. With a Tier attached, every encodable value writes
+// through — including values too large for the memory bound, which the
+// tier's own capacity governs.
 func (c *Cache) Put(k Key, v any, size int64) {
+	c.store(k, v, size)
+	if tc := c.tier.Load(); tc != nil {
+		if payload, ok := tc.c.Encode(v); ok {
+			tc.t.PutBlob(k, payload)
+		}
+	}
+}
+
+// store inserts into the in-memory LRU only.
+func (c *Cache) store(k Key, v any, size int64) {
 	if size < 0 {
 		size = 0
 	}
@@ -428,19 +548,23 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.ll.Len(),
-		Bytes:     c.bytes,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Entries:     c.ll.Len(),
+		Bytes:       c.bytes,
+		StoreHits:   c.storeHits,
+		StoreMisses: c.storeMiss,
 	}
 }
 
-// Purge empties the cache and resets all statistics.
+// Purge empties the in-memory cache and resets all statistics. An attached
+// Tier keeps its entries: purged keys remain answerable from disk.
 func (c *Cache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[Key]*list.Element)
 	c.bytes, c.hits, c.misses, c.evictions = 0, 0, 0, 0
+	c.storeHits, c.storeMiss = 0, 0
 }

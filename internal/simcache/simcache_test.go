@@ -366,3 +366,204 @@ func TestStatsHitRate(t *testing.T) {
 		t.Errorf("hit rate %v, want 0.75", hr)
 	}
 }
+
+// TestSchemaVersionChangesEveryKey proves the version stamp reaches every
+// derived key: the same inputs hashed under a bumped schema version produce
+// a different key for each of the Hasher's input kinds, so on-disk entries
+// from an older binary invalidate cleanly on format changes.
+func TestSchemaVersionChangesEveryKey(t *testing.T) {
+	mixes := map[string]func(h *Hasher){
+		"string": func(h *Hasher) { h.String("layer") },
+		"int":    func(h *Hasher) { h.Int(-7) },
+		"uint":   func(h *Hasher) { h.Uint(7) },
+		"bool":   func(h *Hasher) { h.Bool(true) },
+		"float":  func(h *Hasher) { h.Float(2.5) },
+		"bytes":  func(h *Hasher) { h.Bytes([]byte{1, 2, 3}) },
+		"value":  func(h *Hasher) { h.Value(sampleERT()) },
+		"empty":  func(h *Hasher) {},
+	}
+	for name, mix := range mixes {
+		cur, bumped := newHasher(SchemaVersion), newHasher(SchemaVersion+1)
+		mix(cur)
+		mix(bumped)
+		if cur.Sum() == bumped.Sum() {
+			t.Errorf("%s: key unchanged by schema version bump", name)
+		}
+	}
+	// And NewHasher really is the current schema version.
+	a, b := NewHasher(), newHasher(SchemaVersion)
+	a.String("x")
+	b.String("x")
+	if a.Sum() != b.Sum() {
+		t.Error("NewHasher does not hash under SchemaVersion")
+	}
+}
+
+// memTier is an in-memory Tier for tests, with optional call counters.
+type memTier struct {
+	mu      sync.Mutex
+	m       map[Key][]byte
+	gets    int
+	puts    int
+	putKeys []Key
+}
+
+func newMemTier() *memTier { return &memTier{m: make(map[Key][]byte)} }
+
+func (t *memTier) GetBlob(k Key) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gets++
+	b, ok := t.m[k]
+	return b, ok
+}
+
+func (t *memTier) PutBlob(k Key, payload []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.puts++
+	t.putKeys = append(t.putKeys, k)
+	if _, ok := t.m[k]; !ok {
+		t.m[k] = append([]byte(nil), payload...)
+	}
+}
+
+// stringCodec persists string values as raw bytes and rejects all else.
+type stringCodec struct{}
+
+func (stringCodec) Encode(v any) ([]byte, bool) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, false
+	}
+	return []byte(s), true
+}
+
+func (stringCodec) Decode(payload []byte) (any, int64, bool) {
+	return string(payload), int64(len(payload)), true
+}
+
+func TestTierWriteThroughAndReadBack(t *testing.T) {
+	tier := newMemTier()
+	c := New(16, 1<<20)
+	c.SetTier(tier, stringCodec{})
+	k := keyOf("a")
+	c.Put(k, "hello", 5)
+	if tier.puts != 1 {
+		t.Fatalf("tier puts = %d, want 1 write-through", tier.puts)
+	}
+
+	// A fresh cache over the same tier answers from disk and promotes.
+	c2 := New(16, 1<<20)
+	c2.SetTier(tier, stringCodec{})
+	v, ok := c2.Get(k)
+	if !ok || v.(string) != "hello" {
+		t.Fatalf("tier-backed Get = %v, %v; want hello", v, ok)
+	}
+	st := c2.Stats()
+	if st.StoreHits != 1 || st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats after tier hit: %+v, want 1 store hit counted as hit", st)
+	}
+	// The promoted entry now lives in memory: no second tier read.
+	gets := tier.gets
+	if _, ok := c2.Get(k); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if tier.gets != gets {
+		t.Error("memory hit consulted the tier")
+	}
+}
+
+func TestTierMissCountsStoreMiss(t *testing.T) {
+	tier := newMemTier()
+	c := New(16, 1<<20)
+	c.SetTier(tier, stringCodec{})
+	if _, ok := c.Get(keyOf("absent")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	st := c.Stats()
+	if st.StoreMisses != 1 || st.Misses != 1 || st.StoreHits != 0 {
+		t.Errorf("stats after full miss: %+v, want 1 store miss + 1 miss", st)
+	}
+}
+
+func TestTierAcquireSingleDiskRead(t *testing.T) {
+	tier := newMemTier()
+	seed := New(16, 1<<20)
+	seed.SetTier(tier, stringCodec{})
+	k := keyOf("warm")
+	seed.Put(k, "v", 1)
+
+	c := New(16, 1<<20)
+	c.SetTier(tier, stringCodec{})
+	const workers = 8
+	var wg sync.WaitGroup
+	var hits int64
+	var mu sync.Mutex
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, ok, err := c.Acquire(context.Background(), k)
+			if err != nil || !ok || v.(string) != "v" {
+				t.Errorf("Acquire = %v, %v, %v", v, ok, err)
+				c.Release(k)
+				return
+			}
+			mu.Lock()
+			hits++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if hits != workers {
+		t.Fatalf("%d/%d workers hit", hits, workers)
+	}
+	if tier.gets != 1 {
+		t.Errorf("tier reads = %d, want exactly 1 under single-flight", tier.gets)
+	}
+}
+
+func TestTierUnencodableValueStaysMemoryOnly(t *testing.T) {
+	tier := newMemTier()
+	c := New(16, 1<<20)
+	c.SetTier(tier, stringCodec{})
+	c.Put(keyOf("n"), 42, 8) // int: codec rejects
+	if tier.puts != 0 || len(tier.m) != 0 {
+		t.Errorf("tier holds %d entries after unencodable put, want 0", len(tier.m))
+	}
+	if v, ok := c.Get(keyOf("n")); !ok || v.(int) != 42 {
+		t.Errorf("memory-only value lost: %v, %v", v, ok)
+	}
+}
+
+func TestTierOversizedValueStillPersisted(t *testing.T) {
+	tier := newMemTier()
+	c := New(16, 64) // tiny byte budget: admission cap is 32
+	c.SetTier(tier, stringCodec{})
+	big := string(make([]byte, 100))
+	k := keyOf("big")
+	c.Put(k, big, int64(len(big)))
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("oversized entry admitted to memory: %+v", st)
+	}
+	if _, ok := tier.m[k]; !ok {
+		t.Error("oversized entry not written through to the tier")
+	}
+}
+
+func TestTierSurvivesPurge(t *testing.T) {
+	tier := newMemTier()
+	c := New(16, 1<<20)
+	c.SetTier(tier, stringCodec{})
+	k := keyOf("p")
+	c.Put(k, "kept", 4)
+	c.Purge()
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "kept" {
+		t.Fatalf("purged cache lost tier entry: %v, %v", v, ok)
+	}
+	if st := c.Stats(); st.StoreHits != 1 {
+		t.Errorf("stats after post-purge tier hit: %+v", st)
+	}
+}

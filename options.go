@@ -10,6 +10,8 @@ type options struct {
 	sweepProgress func(SweepPointProgress)
 	stages        []Stage
 	cache         *Cache
+	storeDir      string
+	storeBytes    int64
 }
 
 func defaultOptions() options {
@@ -103,6 +105,22 @@ func WithStages(stages ...Stage) Option {
 // disables caching (the default).
 func WithCache(c *Cache) Option {
 	return func(o *options) { o.cache = c }
+}
+
+// WithStore persists cached results to a content-addressed store in dir,
+// surviving process restarts: the run's cache (the shared cache unless
+// WithCache chose another) gains a disk tier via Cache.AttachStore, so a
+// fresh process pointed at the same directory answers previously-seen
+// layers from disk instead of re-simulating them. Results are keyed by the
+// same fingerprints as the in-memory cache; cached, stored and uncached
+// runs produce byte-identical reports.
+//
+// The directory is owned by one process at a time; Run/Sweep return an
+// error when another live process holds it, or when a different store is
+// already attached to the chosen cache. An empty dir disables the store
+// (the default).
+func WithStore(dir string) Option {
+	return func(o *options) { o.storeDir = dir }
 }
 
 // WithSharedCache attaches the process-wide cache returned by SharedCache.

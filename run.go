@@ -37,6 +37,9 @@ func (s *Simulator) Run(ctx context.Context, topo *Topology, opts ...Option) (*R
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if err := o.resolveStore(); err != nil {
+		return nil, err
+	}
 	lc := newLayerCache(o.cache, &s.cfg, &o)
 	res := &Result{Config: s.cfg, Layers: make([]LayerResult, len(topo.Layers))}
 	if err := runLayers(ctx, &s.cfg, &o, topo, res.Layers, lc); err != nil {

@@ -1,0 +1,195 @@
+package scalesim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"scalesim/internal/diskstore"
+	"scalesim/internal/simcache"
+)
+
+// StoreStats is a point-in-time snapshot of an attached result store: log
+// occupancy, lookup effectiveness since the store was opened, what the
+// last open recovered, and garbage-collection activity.
+type StoreStats struct {
+	// Entries and LogBytes describe current occupancy; MaxBytes is the
+	// configured capacity.
+	Entries  int
+	LogBytes int64
+	MaxBytes int64
+	// Hits/Misses/Puts count lookups and writes since the store was
+	// opened; PutBytes is payload bytes appended.
+	Hits, Misses, Puts int64
+	PutBytes           int64
+	// Recovered and Skipped describe the last open: entries loaded vs.
+	// damaged entries dropped. TruncatedBytes is the torn tail cut off.
+	Recovered, Skipped int
+	TruncatedBytes     int64
+	// GCRuns and GCDropped count compactions and the entries they dropped.
+	GCRuns, GCDropped int64
+	// SnapshotUpTo is the log prefix (bytes) the newest index snapshot
+	// covers; SnapshotUnix is when it was written (Unix seconds).
+	SnapshotUpTo int64
+	SnapshotUnix int64
+}
+
+// AttachStore opens (creating if needed) a persistent result store in dir
+// and attaches it as the cache's second tier: memory miss → disk lookup →
+// simulate + write-through. Keys are the same content-addressed
+// fingerprints the in-memory cache uses, so results persisted by one
+// process warm-start any later process pointed at the same directory.
+//
+// maxBytes bounds the on-disk log (non-positive selects the 1 GiB
+// default); exceeding it compacts away the oldest entries. A store
+// directory is owned by one process at a time — AttachStore fails if
+// another live process holds it. Attaching the directory already attached
+// is a no-op; attaching a different one is an error (detach with
+// CloseStore first).
+func (c *Cache) AttachStore(dir string, maxBytes int64) error {
+	dir = filepath.Clean(dir)
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if c.store != nil {
+		if c.storeDir == dir {
+			return nil
+		}
+		return fmt.Errorf("scalesim: cache already has store %q attached", c.storeDir)
+	}
+	s, err := diskstore.Open(dir, diskstore.Options{MaxBytes: maxBytes})
+	if err != nil {
+		return err
+	}
+	c.store = s
+	c.storeDir = dir
+	c.c.SetTier(storeTier{s: s}, storeCodec{})
+	return nil
+}
+
+// StoreStats snapshots the attached store's counters; ok is false when no
+// store is attached.
+func (c *Cache) StoreStats() (st StoreStats, ok bool) {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if c.store == nil {
+		return StoreStats{}, false
+	}
+	return StoreStats(c.store.Stats()), true
+}
+
+// SaveStoreSnapshot atomically persists the store's index so the next open
+// replays only the log appended afterwards. A no-op without a store.
+// CloseStore snapshots too; call this for long-lived processes that want
+// crash-time replay bounded between clean shutdowns.
+func (c *Cache) SaveStoreSnapshot() error {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if c.store == nil {
+		return nil
+	}
+	return c.store.SaveSnapshot()
+}
+
+// CloseStore detaches the store (lookups revert to memory-only), snapshots
+// its index and closes it, releasing the directory for other processes. A
+// no-op without a store.
+func (c *Cache) CloseStore() error {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if c.store == nil {
+		return nil
+	}
+	c.c.SetTier(nil, nil)
+	err := c.store.Close()
+	c.store, c.storeDir = nil, ""
+	return err
+}
+
+// resolveStore applies a WithStore directory after all options are parsed:
+// a store implies caching, so a run without an explicit cache gets the
+// process-wide shared one.
+func (o *options) resolveStore() error {
+	if o.storeDir == "" {
+		return nil
+	}
+	if o.cache == nil {
+		o.cache = SharedCache()
+	}
+	return o.cache.AttachStore(o.storeDir, o.storeBytes)
+}
+
+// storeTier adapts diskstore.Store to the simcache.Tier contract
+// (best-effort: write errors are dropped, the store's own stats record
+// lookup outcomes).
+type storeTier struct{ s *diskstore.Store }
+
+func (t storeTier) GetBlob(k simcache.Key) ([]byte, bool) { return t.s.Get(k) }
+func (t storeTier) PutBlob(k simcache.Key, payload []byte) {
+	_ = t.s.Put(k, payload)
+}
+
+// Payload kind tags. The simcache.SchemaVersion mixed into every key —
+// not these tags — is what invalidates old payloads on format changes;
+// the tags only keep the value kinds apart within one schema epoch.
+const (
+	codecLayerResult byte = 1 // gob-encoded *LayerResult
+	codecFloat64     byte = 2 // 8 bytes, IEEE-754 bits little-endian
+	codecBytes       byte = 3 // raw blob
+)
+
+// storeCodec translates the three persistable cache value kinds — layer
+// results, layout slowdown factors, rendered trace blobs — to kind-tagged
+// payloads. Other kinds (SRAM trace builders hold unexported state) return
+// ok=false and stay memory-only.
+type storeCodec struct{}
+
+func (storeCodec) Encode(v any) ([]byte, bool) {
+	switch x := v.(type) {
+	case *LayerResult:
+		var buf bytes.Buffer
+		buf.WriteByte(codecLayerResult)
+		if err := gob.NewEncoder(&buf).Encode(x); err != nil {
+			return nil, false
+		}
+		return buf.Bytes(), true
+	case float64:
+		p := make([]byte, 9)
+		p[0] = codecFloat64
+		binary.LittleEndian.PutUint64(p[1:], math.Float64bits(x))
+		return p, true
+	case []byte:
+		p := make([]byte, 1+len(x))
+		p[0] = codecBytes
+		copy(p[1:], x)
+		return p, true
+	}
+	return nil, false
+}
+
+func (storeCodec) Decode(payload []byte) (any, int64, bool) {
+	if len(payload) == 0 {
+		return nil, 0, false
+	}
+	body := payload[1:]
+	switch payload[0] {
+	case codecLayerResult:
+		var lr LayerResult
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&lr); err != nil {
+			return nil, 0, false
+		}
+		return &lr, layerResultSize(&lr), true
+	case codecFloat64:
+		if len(body) != 8 {
+			return nil, 0, false
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(body)), 8, true
+	case codecBytes:
+		b := make([]byte, len(body))
+		copy(b, body)
+		return b, int64(len(b)), true
+	}
+	return nil, 0, false
+}

@@ -48,6 +48,9 @@ func Sweep(ctx context.Context, points []SweepPoint, opts ...Option) ([]SweepRes
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if err := o.resolveStore(); err != nil {
+		return nil, err
+	}
 	n := len(points)
 	out := make([]SweepResult, n)
 	if n == 0 {
