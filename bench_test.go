@@ -16,6 +16,7 @@ import (
 	"scalesim/internal/config"
 	"scalesim/internal/dram"
 	"scalesim/internal/experiments"
+	"scalesim/internal/layout"
 	"scalesim/internal/sram"
 	"scalesim/internal/systolic"
 )
@@ -222,8 +223,30 @@ func BenchmarkLayoutNaiveVsOptimized(b *testing.B) {
 	}
 }
 
-// BenchmarkDemandStream measures the raw cycle-accurate demand generator.
+// BenchmarkDemandStream measures the production demand-summary path: the
+// closed-form fold schedule's ScheduleStats, which replaced per-cycle
+// enumeration for dense layers. The retained per-cycle generator is
+// BenchmarkDemandStreamOracle.
 func BenchmarkDemandStream(b *testing.B) {
+	g := systolic.Gemm{M: 512, N: 512, K: 512}
+	for _, df := range config.Dataflows() {
+		b.Run(df.String(), func(b *testing.B) {
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				st, err := systolic.ScheduleStats(df, 32, 32, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += st.IfmapReads
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkDemandStreamOracle measures the retained cycle-accurate demand
+// generator — the differential-test oracle behind the closed-form path.
+func BenchmarkDemandStreamOracle(b *testing.B) {
 	g := systolic.Gemm{M: 512, N: 512, K: 512}
 	for _, df := range config.Dataflows() {
 		b.Run(df.String(), func(b *testing.B) {
@@ -236,6 +259,58 @@ func BenchmarkDemandStream(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkLayoutAnalyze measures one layer's bank-conflict analysis on the
+// closed-form path (fold schedule + AnalyzeSchedule), the unit of work the
+// layout stage performs per uncached layer.
+func BenchmarkLayoutAnalyze(b *testing.B) {
+	g := systolic.Gemm{M: 512, N: 512, K: 512}
+	lc := layout.Config{Banks: 8, PortsPerBank: 2, TotalBandwidth: 64}
+	for _, df := range config.Dataflows() {
+		b.Run(df.String(), func(b *testing.B) {
+			fs, err := systolic.NewFoldSchedule(df, 32, 32, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				mk := func() *layout.Analyzer {
+					a, err := layout.NewAnalyzer(lc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return a
+				}
+				ifa, fla, ofa := mk(), mk(), mk()
+				layout.AnalyzeSchedule(fs, ifa, fla, ofa, true)
+				if ifa.Groups == 0 {
+					b.Fatal("no groups analyzed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFoldSchedule measures building and walking the closed-form fold
+// schedule itself.
+func BenchmarkFoldSchedule(b *testing.B) {
+	g := systolic.Gemm{M: 512, N: 512, K: 512}
+	for _, df := range config.Dataflows() {
+		b.Run(df.String(), func(b *testing.B) {
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				fs, err := systolic.NewFoldSchedule(df, 32, 32, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs.ForEachFold(func(f *systolic.FoldInfo) bool {
+					sink += int64(len(f.Patterns))
+					return true
+				})
 			}
 			_ = sink
 		})

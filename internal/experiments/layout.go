@@ -68,8 +68,9 @@ type LayoutPoint struct {
 	Slowdown  float64
 }
 
-// RunLayout streams each layer's demand once per dataflow and evaluates
-// every (bandwidth, banks) pair simultaneously.
+// RunLayout derives each layer's fold schedule once per dataflow and feeds
+// its closed-form access patterns to every (bandwidth, banks) pair's
+// analyzers — no per-cycle demand replay.
 func RunLayout(p LayoutParams) ([]LayoutPoint, error) {
 	topo, err := topology.Builtin(p.Workload)
 	if err != nil {
@@ -105,38 +106,20 @@ func RunLayout(p LayoutParams) ([]LayoutPoint, error) {
 		}
 		for li := range topo.Layers {
 			m, n, k := topo.Layers[li].GEMMDims()
-			ifmapT, filterT, ofmapT := layout.NaturalTransforms(df, m, n, k)
-			if p.NaiveLayout {
-				ifmapT, filterT, ofmapT = nil, nil, nil
-			}
-			var ifBuf, flBuf, ofBuf []int64
-			err := systolic.Stream(df, p.ArrayRows, p.ArrayCols,
-				systolic.Gemm{M: m, N: n, K: k}, func(d *systolic.Demand) bool {
-					ifBuf = layout.ApplyTransform(ifBuf[:0], d.IfmapReads, systolic.IfmapBase, ifmapT)
-					flBuf = layout.ApplyTransform(flBuf[:0], d.FilterReads, systolic.FilterBase, filterT)
-					ofBuf = layout.ApplyTransform(ofBuf[:0], d.OfmapWrites, systolic.OfmapBase, ofmapT)
-					for _, tr := range analyzers {
-						tr.ifa.Observe(ifBuf)
-						tr.fla.Observe(flBuf)
-						tr.ofa.Observe(ofBuf)
-					}
-					return true
-				})
+			fs, err := systolic.NewFoldSchedule(df, p.ArrayRows, p.ArrayCols,
+				systolic.Gemm{M: m, N: n, K: k})
 			if err != nil {
 				return nil, err
+			}
+			for _, tr := range analyzers {
+				layout.AnalyzeSchedule(fs, tr.ifa, tr.fla, tr.ofa, !p.NaiveLayout)
 			}
 		}
 		for _, bw := range p.Bandwidths {
 			for _, banks := range p.Banks {
 				tr := analyzers[cfgKey{bw, banks}]
-				lc := tr.ifa.LayoutCycles + tr.fla.LayoutCycles + tr.ofa.LayoutCycles
-				bc := tr.ifa.BaselineCycles + tr.fla.BaselineCycles + tr.ofa.BaselineCycles
-				sd := 0.0
-				if bc > 0 {
-					sd = float64(lc-bc) / float64(bc)
-				}
 				out = append(out, LayoutPoint{Dataflow: df, Bandwidth: bw,
-					Banks: banks, Slowdown: sd})
+					Banks: banks, Slowdown: layout.CombinedSlowdown(tr.ifa, tr.fla, tr.ofa)})
 			}
 		}
 	}

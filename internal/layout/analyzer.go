@@ -45,6 +45,11 @@ type Analyzer struct {
 	touched map[[2]int64]struct{}
 	perBank []int64
 
+	// Closed-form run state (see closedform.go): memoized group cycles per
+	// (stride, count) indexed by base residue, and a scratch address buffer.
+	runMemo map[runKey][]int64
+	runBuf  []int64
+
 	LayoutCycles   int64
 	BaselineCycles int64
 	Groups         int64

@@ -27,15 +27,30 @@ func Transpose(rows, cols int) Transform {
 //	IS: the filter streams column-by-column (B[·, n]) and the stationary
 //	    ifmap fills column-wise; outputs drain column-by-column.
 func NaturalTransforms(df config.Dataflow, m, n, k int) (ifmap, filter, ofmap Transform) {
+	ti, tf, to := NaturalTransposed(df)
+	if ti {
+		ifmap = Transpose(m, k)
+	}
+	if tf {
+		filter = Transpose(k, n)
+	}
+	if to {
+		ofmap = Transpose(m, n)
+	}
+	return ifmap, filter, ofmap
+}
+
+// NaturalTransposed reports, per operand, whether the dataflow's natural
+// storage order is the transpose of row-major. It is the single source of
+// truth behind NaturalTransforms and the closed-form AnalyzeSchedule path.
+func NaturalTransposed(df config.Dataflow) (ifmap, filter, ofmap bool) {
 	switch df {
 	case config.OutputStationary:
-		return Transpose(m, k), nil, nil
-	case config.WeightStationary:
-		return nil, nil, nil
+		return true, false, false
 	case config.InputStationary:
-		return Transpose(m, k), Transpose(k, n), Transpose(m, n)
+		return true, true, true
 	default:
-		return nil, nil, nil
+		return false, false, false
 	}
 }
 

@@ -1,0 +1,183 @@
+// Package simtest is the shared differential-oracle test harness: a
+// deterministic dataflow × array-size × GEMM-shape case grid plus a seeded
+// randomized generator, and emission-capture helpers for comparing the
+// closed-form fold schedule against the retained per-cycle demand stream.
+//
+// The harness is consumed by the systolic, layout and sram test suites so
+// every analytical fast path in the repo is proven against the same oracle
+// inputs: systolic's FoldSchedule vs Stream, layout's closed-form
+// bank-conflict analysis vs the per-cycle replay, and sram's fold-level
+// schedule invariants. It deliberately imports only config and systolic —
+// packages under test import it from their test files without cycles.
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scalesim/internal/config"
+	"scalesim/internal/systolic"
+)
+
+// Case is one (dataflow, array, GEMM) differential point.
+type Case struct {
+	Name     string
+	Dataflow config.Dataflow
+	R, C     int
+	G        systolic.Gemm
+}
+
+// Cases returns the deterministic differential grid. The shapes cover exact
+// array fits, fold-boundary remainders on every GEMM dimension, degenerate
+// M/N/K = 1 operands, and wide/tall extremes; the arrays cover 1×N, N×1,
+// non-square and exact-fit geometries.
+func Cases() []Case {
+	arrays := [][2]int{
+		{1, 7},   // single-row array
+		{5, 1},   // single-column array
+		{1, 1},   // single PE
+		{4, 4},   // small square
+		{3, 5},   // non-square, odd dims
+		{8, 8},   // exact fit for the 8-multiples shapes
+		{16, 16}, // larger than several shapes
+	}
+	shapes := []systolic.Gemm{
+		{M: 1, N: 1, K: 1},    // degenerate scalar GEMM
+		{M: 1, N: 17, K: 3},   // M=1 row vector
+		{M: 9, N: 1, K: 4},    // N=1 column vector
+		{M: 8, N: 8, K: 8},    // exact fit on 4×4 and 8×8
+		{M: 20, N: 20, K: 20}, // remainder tiles on every array
+		{M: 33, N: 17, K: 65}, // primes: remainders on all dims
+		{M: 7, N: 100, K: 3},  // wide-N, tiny contraction
+		{M: 64, N: 48, K: 96}, // multi-fold with exact tiles on 8×8
+	}
+	var cases []Case
+	for _, df := range config.Dataflows() {
+		for _, arr := range arrays {
+			for _, g := range shapes {
+				cases = append(cases, Case{
+					Name: fmt.Sprintf("%v/%dx%d/M%dN%dK%d",
+						df, arr[0], arr[1], g.M, g.N, g.K),
+					Dataflow: df, R: arr[0], C: arr[1], G: g,
+				})
+			}
+		}
+	}
+	return cases
+}
+
+// RandomCases returns n seeded random cases. The same seed always yields
+// the same sequence, so failures reproduce by name.
+func RandomCases(seed int64, n int) []Case {
+	rng := rand.New(rand.NewSource(seed))
+	dataflows := config.Dataflows()
+	cases := make([]Case, 0, n)
+	for i := 0; i < n; i++ {
+		c := Case{
+			Dataflow: dataflows[rng.Intn(len(dataflows))],
+			R:        1 + rng.Intn(24),
+			C:        1 + rng.Intn(24),
+			G: systolic.Gemm{
+				M: 1 + rng.Intn(120),
+				N: 1 + rng.Intn(120),
+				K: 1 + rng.Intn(120),
+			},
+		}
+		c.Name = fmt.Sprintf("rand%02d/%v/%dx%d/M%dN%dK%d",
+			i, c.Dataflow, c.R, c.C, c.G.M, c.G.N, c.G.K)
+		cases = append(cases, c)
+	}
+	return cases
+}
+
+// Emission is one captured demand callback: the cycle and a copy of every
+// channel's addresses in emission order.
+type Emission struct {
+	Cycle  int64
+	Ifmap  []int64
+	Filter []int64
+	OfmapW []int64
+	OfmapR []int64
+}
+
+func capture(d *systolic.Demand) Emission {
+	cp := func(s []int64) []int64 {
+		if len(s) == 0 {
+			return nil
+		}
+		out := make([]int64, len(s))
+		copy(out, s)
+		return out
+	}
+	return Emission{
+		Cycle:  d.Cycle,
+		Ifmap:  cp(d.IfmapReads),
+		Filter: cp(d.FilterReads),
+		OfmapW: cp(d.OfmapWrites),
+		OfmapR: cp(d.OfmapReads),
+	}
+}
+
+// StreamEmissions runs the per-cycle oracle and captures every emission.
+func StreamEmissions(c Case) ([]Emission, error) {
+	var out []Emission
+	err := systolic.Stream(c.Dataflow, c.R, c.C, c.G, func(d *systolic.Demand) bool {
+		out = append(out, capture(d))
+		return true
+	})
+	return out, err
+}
+
+// MaterializeEmissions expands the closed-form fold schedule into the same
+// emission sequence.
+func MaterializeEmissions(c Case) ([]Emission, error) {
+	fs, err := systolic.NewFoldSchedule(c.Dataflow, c.R, c.C, c.G)
+	if err != nil {
+		return nil, err
+	}
+	var out []Emission
+	fs.Materialize(func(d *systolic.Demand) bool {
+		out = append(out, capture(d))
+		return true
+	})
+	return out, nil
+}
+
+// DiffEmissions compares two emission sequences and returns a descriptive
+// error for the first divergence; nil means byte-identical.
+func DiffEmissions(want, got []Emission) error {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		w, g := want[i], got[i]
+		if w.Cycle != g.Cycle {
+			return fmt.Errorf("emission %d: cycle %d != %d", i, g.Cycle, w.Cycle)
+		}
+		for _, ch := range []struct {
+			name string
+			w, g []int64
+		}{
+			{"ifmap", w.Ifmap, g.Ifmap},
+			{"filter", w.Filter, g.Filter},
+			{"ofmap-write", w.OfmapW, g.OfmapW},
+			{"ofmap-read", w.OfmapR, g.OfmapR},
+		} {
+			if len(ch.w) != len(ch.g) {
+				return fmt.Errorf("emission %d (cycle %d) %s: %d addrs != %d",
+					i, w.Cycle, ch.name, len(ch.g), len(ch.w))
+			}
+			for j := range ch.w {
+				if ch.w[j] != ch.g[j] {
+					return fmt.Errorf("emission %d (cycle %d) %s[%d]: %d != %d",
+						i, w.Cycle, ch.name, j, ch.g[j], ch.w[j])
+				}
+			}
+		}
+	}
+	if len(want) != len(got) {
+		return fmt.Errorf("emission count %d != %d", len(got), len(want))
+	}
+	return nil
+}

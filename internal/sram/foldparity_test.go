@@ -1,0 +1,51 @@
+package sram
+
+// Fold-level parity with the closed-form demand schedule, over the shared
+// simtest harness grid: the DRAM schedule's fold structure and the systolic
+// fold schedule are two views of the same tiling and must agree on fold
+// count, per-fold pipeline length, total compute cycles, and (without
+// on-chip reuse) the drained output volume.
+
+import (
+	"testing"
+
+	"scalesim/internal/simtest"
+	"scalesim/internal/systolic"
+)
+
+func TestScheduleMatchesFoldScheduleGrid(t *testing.T) {
+	for _, c := range simtest.Cases() {
+		fs, err := systolic.NewFoldSchedule(c.Dataflow, c.R, c.C, c.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := BuildSchedule(c.Dataflow, c.R, c.C, c.G, ScheduleOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sched.Folds) != fs.NumFolds() {
+			t.Errorf("%s: %d memory folds != %d schedule folds",
+				c.Name, len(sched.Folds), fs.NumFolds())
+		}
+		for i := range sched.Folds {
+			if sched.Folds[i].ComputeCycles != fs.PerFold {
+				t.Fatalf("%s: fold %d compute %d != per-fold %d",
+					c.Name, i, sched.Folds[i].ComputeCycles, fs.PerFold)
+			}
+		}
+		if got, want := sched.ComputeCycles(), fs.TotalCycles(); got != want {
+			t.Errorf("%s: schedule compute cycles %d != fold schedule %d",
+				c.Name, got, want)
+		}
+		var ofmapWrites int64
+		fs.ForEachFold(func(f *systolic.FoldInfo) bool {
+			_, _, ow, _ := f.Volumes()
+			ofmapWrites += ow
+			return true
+		})
+		if got := sched.WriteWords(); got != ofmapWrites {
+			t.Errorf("%s: DRAM write words %d != fold-schedule ofmap volume %d",
+				c.Name, got, ofmapWrites)
+		}
+	}
+}

@@ -1,0 +1,438 @@
+package systolic
+
+import (
+	"fmt"
+
+	"scalesim/internal/config"
+)
+
+// Operand identifies one GEMM tensor in the demand stream.
+type Operand uint8
+
+const (
+	OperandIfmap Operand = iota
+	OperandFilter
+	OperandOfmap
+)
+
+// String names the operand for diagnostics.
+func (op Operand) String() string {
+	switch op {
+	case OperandIfmap:
+		return "ifmap"
+	case OperandFilter:
+		return "filter"
+	case OperandOfmap:
+		return "ofmap"
+	default:
+		return fmt.Sprintf("operand(%d)", uint8(op))
+	}
+}
+
+// AddressBase returns the operand's region base in the word address space.
+func (op Operand) AddressBase() int64 {
+	switch op {
+	case OperandIfmap:
+		return IfmapBase
+	case OperandFilter:
+		return FilterBase
+	default:
+		return OfmapBase
+	}
+}
+
+// OperandDims returns the logical (rows, cols) of the operand's matrix for
+// the GEMM O(M×N) = A(M×K) · B(K×N).
+func OperandDims(op Operand, g Gemm) (rows, cols int) {
+	switch op {
+	case OperandIfmap:
+		return g.M, g.K
+	case OperandFilter:
+		return g.K, g.N
+	default:
+		return g.M, g.N
+	}
+}
+
+// PatternPhase places a pattern in its fold's pipeline phase, fixing the
+// emission order Materialize must reproduce.
+type PatternPhase uint8
+
+const (
+	// PhaseFill is the stationary-operand fill (WS/IS), one tile row per
+	// cycle.
+	PhaseFill PatternPhase = iota
+	// PhaseStream is the streaming-read phase, one temporal step per cycle.
+	PhaseStream
+	// PhaseOutput is the WS/IS output drain interleaved with the stream,
+	// offset by the array traversal latency and clamped to the fold end.
+	PhaseOutput
+	// PhaseDrain is the OS output drain over the fold's last tile rows.
+	PhaseDrain
+)
+
+// Pattern is a closed-form run of per-cycle access groups: Steps consecutive
+// cycles, each demanding Count elements of one operand. The element at
+// position e of step s sits at matrix coordinate
+//
+//	row = Row0 + e·RowPerElem + s·RowPerStep
+//	col = Col0 + e·ColPerElem + s·ColPerStep
+//
+// of the operand's logical (row-major) matrix. All coefficients are
+// non-negative, so address ranges are closed-form too. The demanded cycle of
+// step s is min(StartCycle+s, ClampCycle) — the clamp models WS/IS outputs
+// whose drain latency would spill past the fold boundary.
+type Pattern struct {
+	Operand Operand
+	Phase   PatternPhase
+	// ReadBack marks output groups that also read partial sums back
+	// (contraction folds after the first for WS/IS).
+	ReadBack bool
+
+	StartCycle int64
+	ClampCycle int64
+	Steps      int
+	Count      int
+
+	Row0, Col0             int
+	RowPerElem, ColPerElem int
+	RowPerStep, ColPerStep int
+}
+
+// Cycle returns the demand cycle of step s.
+func (p *Pattern) Cycle(s int) int64 {
+	c := p.StartCycle + int64(s)
+	if c > p.ClampCycle {
+		return p.ClampCycle
+	}
+	return c
+}
+
+// Addr returns the absolute word address of element e at step s.
+func (p *Pattern) Addr(e, s int, g Gemm) int64 {
+	_, cols := OperandDims(p.Operand, g)
+	row := int64(p.Row0) + int64(e)*int64(p.RowPerElem) + int64(s)*int64(p.RowPerStep)
+	col := int64(p.Col0) + int64(e)*int64(p.ColPerElem) + int64(s)*int64(p.ColPerStep)
+	return p.Operand.AddressBase() + row*int64(cols) + col
+}
+
+// Volume is the pattern's total element demand (Steps × Count), counting the
+// write and the read-back of a ReadBack pattern once each.
+func (p *Pattern) Volume() int64 {
+	return int64(p.Steps) * int64(p.Count)
+}
+
+// AddrRange returns the inclusive absolute address range the pattern
+// touches. The coordinate coefficients are non-negative, so the extremes are
+// the first element of the first step and the last element of the last step.
+func (p *Pattern) AddrRange(g Gemm) (lo, hi int64) {
+	if p.Steps == 0 || p.Count == 0 {
+		return 0, -1
+	}
+	return p.Addr(0, 0, g), p.Addr(p.Count-1, p.Steps-1, g)
+}
+
+// FoldInfo is the closed-form description of one fold: placement, tile
+// dims, cycle span and per-operand access patterns in emission order.
+type FoldInfo struct {
+	// Index is the fold's linear position (row-major over FoldsR×FoldsC).
+	Index int
+	// FoldR, FoldC are the fold's row/column indices.
+	FoldR, FoldC int
+	// TileR, TileC are the live tile dims on the array.
+	TileR, TileC int
+	// StartCycle is the fold's first cycle; the fold spans Cycles cycles.
+	StartCycle int64
+	Cycles     int64
+	// Patterns lists the fold's demand in emission order (fill, stream,
+	// output/drain). The slice's backing array is reused across
+	// ForEachFold iterations; copy it to retain.
+	Patterns []Pattern
+}
+
+// Volumes tallies the fold's element demand per channel, matching the
+// per-cycle stream's CollectStats accounting.
+func (f *FoldInfo) Volumes() (ifmapReads, filterReads, ofmapWrites, ofmapReads int64) {
+	for i := range f.Patterns {
+		p := &f.Patterns[i]
+		switch p.Operand {
+		case OperandIfmap:
+			ifmapReads += p.Volume()
+		case OperandFilter:
+			filterReads += p.Volume()
+		case OperandOfmap:
+			ofmapWrites += p.Volume()
+			if p.ReadBack {
+				ofmapReads += p.Volume()
+			}
+		}
+	}
+	return
+}
+
+// FoldSchedule is the closed-form demand schedule of a GEMM on an R×C array:
+// the same folds, cycles and addresses Stream enumerates, derived
+// analytically in O(folds) instead of O(cycles × elements). Stream is
+// retained as the differential-test oracle; Materialize reproduces its
+// emission sequence exactly.
+type FoldSchedule struct {
+	Dataflow config.Dataflow
+	R, C     int
+	G        Gemm
+	Map      Mapping
+	FoldsR   int
+	FoldsC   int
+	// PerFold is the pipeline length of one fold: 2R + C + T − 2.
+	PerFold int64
+}
+
+// NewFoldSchedule validates the request and computes the fold decomposition.
+func NewFoldSchedule(df config.Dataflow, r, c int, g Gemm) (*FoldSchedule, error) {
+	if r <= 0 || c <= 0 {
+		return nil, fmt.Errorf("systolic: non-positive array %dx%d", r, c)
+	}
+	if g.M <= 0 || g.N <= 0 || g.K <= 0 {
+		return nil, fmt.Errorf("systolic: non-positive GEMM %+v", g)
+	}
+	mp := MappingFor(df, g.M, g.N, g.K)
+	return &FoldSchedule{
+		Dataflow: df, R: r, C: c, G: g, Map: mp,
+		FoldsR:  CeilDiv(mp.Sr, r),
+		FoldsC:  CeilDiv(mp.Sc, c),
+		PerFold: FoldCycles(r, c, mp.T),
+	}, nil
+}
+
+// NumFolds is the fold count (FoldsR × FoldsC).
+func (s *FoldSchedule) NumFolds() int { return s.FoldsR * s.FoldsC }
+
+// TotalCycles is the schedule's span — identical to the per-cycle stream's
+// last demanded cycle + 1 and to Estimate(...).ComputeCycles.
+func (s *FoldSchedule) TotalCycles() int64 {
+	return s.PerFold * int64(s.NumFolds())
+}
+
+// Fold fills f with fold idx's closed-form description, reusing
+// f.Patterns' backing array.
+func (s *FoldSchedule) Fold(idx int, f *FoldInfo) {
+	i := idx / s.FoldsC
+	j := idx % s.FoldsC
+	tileR := min(s.R, s.Map.Sr-i*s.R)
+	tileC := min(s.C, s.Map.Sc-j*s.C)
+	base := int64(idx) * s.PerFold
+	rowOff := i * s.R
+	colOff := j * s.C
+	t := s.Map.T
+	foldEnd := base + s.PerFold - 1
+
+	f.Index = idx
+	f.FoldR, f.FoldC = i, j
+	f.TileR, f.TileC = tileR, tileC
+	f.StartCycle = base
+	f.Cycles = s.PerFold
+	f.Patterns = f.Patterns[:0]
+
+	add := func(p Pattern) { f.Patterns = append(f.Patterns, p) }
+	streamStart := base + int64(s.R)
+
+	switch s.Dataflow {
+	case config.OutputStationary:
+		// Stream phase: row i reads A[rowOff+i, step], column j reads
+		// B[step, colOff+j]; the output tile drains over the last TileR
+		// cycles.
+		add(Pattern{Operand: OperandIfmap, Phase: PhaseStream,
+			StartCycle: streamStart, ClampCycle: streamStart + int64(t) - 1,
+			Steps: t, Count: tileR,
+			Row0: rowOff, RowPerElem: 1, ColPerStep: 1})
+		add(Pattern{Operand: OperandFilter, Phase: PhaseStream,
+			StartCycle: streamStart, ClampCycle: streamStart + int64(t) - 1,
+			Steps: t, Count: tileC,
+			Col0: colOff, ColPerElem: 1, RowPerStep: 1})
+		drainStart := base + s.PerFold - int64(tileR)
+		add(Pattern{Operand: OperandOfmap, Phase: PhaseDrain,
+			StartCycle: drainStart, ClampCycle: drainStart + int64(tileR) - 1,
+			Steps: tileR, Count: tileC,
+			Row0: rowOff, Col0: colOff, RowPerStep: 1, ColPerElem: 1})
+	case config.WeightStationary:
+		// Fill pins B[rowOff+i, colOff+j]; the stream reads A[step,
+		// rowOff+i]; outputs O[step, colOff+j] exit the column bottoms
+		// after the full array traversal, clamped inside the fold.
+		add(Pattern{Operand: OperandFilter, Phase: PhaseFill,
+			StartCycle: base, ClampCycle: base + int64(tileR) - 1,
+			Steps: tileR, Count: tileC,
+			Row0: rowOff, Col0: colOff, RowPerStep: 1, ColPerElem: 1})
+		add(Pattern{Operand: OperandIfmap, Phase: PhaseStream,
+			StartCycle: streamStart, ClampCycle: streamStart + int64(t) - 1,
+			Steps: t, Count: tileR,
+			Col0: rowOff, ColPerElem: 1, RowPerStep: 1})
+		add(Pattern{Operand: OperandOfmap, Phase: PhaseOutput, ReadBack: i > 0,
+			StartCycle: streamStart + int64(s.R+s.C-1), ClampCycle: foldEnd,
+			Steps: t, Count: tileC,
+			Col0: colOff, ColPerElem: 1, RowPerStep: 1})
+	case config.InputStationary:
+		// Fill pins A[colOff+j, rowOff+i]; the stream reads B[rowOff+i,
+		// step]; outputs O[colOff+j, step] drain like WS.
+		add(Pattern{Operand: OperandIfmap, Phase: PhaseFill,
+			StartCycle: base, ClampCycle: base + int64(tileR) - 1,
+			Steps: tileR, Count: tileC,
+			Row0: colOff, RowPerElem: 1, Col0: rowOff, ColPerStep: 1})
+		add(Pattern{Operand: OperandFilter, Phase: PhaseStream,
+			StartCycle: streamStart, ClampCycle: streamStart + int64(t) - 1,
+			Steps: t, Count: tileR,
+			Row0: rowOff, RowPerElem: 1, ColPerStep: 1})
+		add(Pattern{Operand: OperandOfmap, Phase: PhaseOutput, ReadBack: i > 0,
+			StartCycle: streamStart + int64(s.R+s.C-1), ClampCycle: foldEnd,
+			Steps: t, Count: tileC,
+			Row0: colOff, RowPerElem: 1, ColPerStep: 1})
+	default:
+		panic(fmt.Sprintf("systolic: unknown dataflow %v", s.Dataflow))
+	}
+}
+
+// ForEachFold visits the folds in schedule order with a reused FoldInfo.
+// Returning false stops the walk.
+func (s *FoldSchedule) ForEachFold(fn func(*FoldInfo) bool) {
+	var f FoldInfo
+	n := s.NumFolds()
+	for idx := 0; idx < n; idx++ {
+		s.Fold(idx, &f)
+		if !fn(&f) {
+			return
+		}
+	}
+}
+
+// Stats tallies the schedule's demand closed-form. The result is identical
+// to CollectStats' per-cycle accounting — the differential tests hold the
+// two byte-equal across the dataflow × shape grid.
+func (s *FoldSchedule) Stats() StreamStats {
+	st := StreamStats{Cycles: s.TotalCycles()}
+	s.ForEachFold(func(f *FoldInfo) bool {
+		ir, fr, ow, or := f.Volumes()
+		st.IfmapReads += ir
+		st.FilterReads += fr
+		st.OfmapWrites += ow
+		st.OfmapReads += or
+		// Peak is per emission, matching CollectStats: fill and drain
+		// emissions carry one pattern; stream emissions merge the fold's
+		// stream patterns; output emissions count the read-back too.
+		var stream int
+		for i := range f.Patterns {
+			p := &f.Patterns[i]
+			per := p.Count
+			switch p.Phase {
+			case PhaseStream:
+				stream += p.Count
+				continue
+			case PhaseOutput:
+				if p.ReadBack {
+					per *= 2
+				}
+			}
+			if per > st.PeakPerCycle {
+				st.PeakPerCycle = per
+			}
+		}
+		if stream > st.PeakPerCycle {
+			st.PeakPerCycle = stream
+		}
+		return true
+	})
+	return st
+}
+
+// ScheduleStats is the closed-form CollectStats: the demand summary of the
+// GEMM without enumerating cycles.
+func ScheduleStats(df config.Dataflow, r, c int, g Gemm) (StreamStats, error) {
+	fs, err := NewFoldSchedule(df, r, c, g)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	return fs.Stats(), nil
+}
+
+// Materialize expands the closed-form schedule back into the per-cycle
+// demand sequence, invoking fn exactly as Stream would — same emissions,
+// same order, same slice contents. It exists for the differential harness
+// and as a drop-in for consumers that still need per-cycle granularity.
+func (s *FoldSchedule) Materialize(fn DemandFunc) {
+	d := demandPool.Get().(*Demand)
+	defer demandPool.Put(d)
+	s.ForEachFold(func(f *FoldInfo) bool {
+		// Split the fold's patterns by phase; each phase emits in the
+		// order streamFold does.
+		var fill, output, drain *Pattern
+		var stream []*Pattern
+		for i := range f.Patterns {
+			p := &f.Patterns[i]
+			switch p.Phase {
+			case PhaseFill:
+				fill = p
+			case PhaseStream:
+				stream = append(stream, p)
+			case PhaseOutput:
+				output = p
+			case PhaseDrain:
+				drain = p
+			}
+		}
+		emitSteps := func(p *Pattern) bool {
+			for step := 0; step < p.Steps; step++ {
+				d.reset(p.Cycle(step))
+				appendPattern(d, p, step, s.G)
+				if d.Total() > 0 && !fn(d) {
+					return false
+				}
+			}
+			return true
+		}
+		if fill != nil && !emitSteps(fill) {
+			return false
+		}
+		steps := 0
+		for _, p := range stream {
+			if p.Steps > steps {
+				steps = p.Steps
+			}
+		}
+		for step := 0; step < steps; step++ {
+			d.reset(stream[0].Cycle(step))
+			for _, p := range stream {
+				appendPattern(d, p, step, s.G)
+			}
+			if d.Total() > 0 && !fn(d) {
+				return false
+			}
+			if output != nil {
+				d.reset(output.Cycle(step))
+				appendPattern(d, output, step, s.G)
+				if d.Total() > 0 && !fn(d) {
+					return false
+				}
+			}
+		}
+		if drain != nil && !emitSteps(drain) {
+			return false
+		}
+		return true
+	})
+}
+
+// appendPattern appends step s of the pattern to the demand's channel
+// slices in element order.
+func appendPattern(d *Demand, p *Pattern, s int, g Gemm) {
+	for e := 0; e < p.Count; e++ {
+		addr := p.Addr(e, s, g)
+		switch p.Operand {
+		case OperandIfmap:
+			d.IfmapReads = append(d.IfmapReads, addr)
+		case OperandFilter:
+			d.FilterReads = append(d.FilterReads, addr)
+		case OperandOfmap:
+			d.OfmapWrites = append(d.OfmapWrites, addr)
+			if p.ReadBack {
+				d.OfmapReads = append(d.OfmapReads, addr)
+			}
+		}
+	}
+}

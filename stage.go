@@ -255,6 +255,11 @@ func applyLayoutSlowdown(lr *LayerResult, slow float64) {
 
 // layoutSlowdown runs the bank-conflict analysis and returns the relative
 // slowdown of the layer's demand stream versus the pure-bandwidth model.
+//
+// Dense layers take the closed-form path: the fold schedule's access-pattern
+// summaries feed AnalyzeSchedule in O(folds) work, proven byte-identical to
+// the per-cycle replay by the differential tests. Irregular (sparse/N:M)
+// layers fall back to the exact per-cycle stream.
 func layoutSlowdown(sc *StageContext) (float64, error) {
 	cfg := sc.Config
 	lc := layout.Config{
@@ -274,13 +279,31 @@ func layoutSlowdown(sc *StageContext) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	// Operands are stored in their stream-natural order (the layout a
-	// layout-aware mapper picks); the remaining slowdown is the bank
-	// contention the paper's Figs. 12/13 quantify.
-	df, m, n, k := sc.Dataflow, sc.M, sc.N, sc.K
-	ifmapT, filterT, ofmapT := layout.NaturalTransforms(df, m, n, k)
+	g := systolic.Gemm{M: sc.M, N: sc.N, K: sc.K}
+	if sc.pattern != nil {
+		if err := layoutReplay(sc.Dataflow, sc.Rows, sc.Cols, g, ifa, fla, ofa); err != nil {
+			return 0, err
+		}
+	} else {
+		fs, err := systolic.NewFoldSchedule(sc.Dataflow, sc.Rows, sc.Cols, g)
+		if err != nil {
+			return 0, err
+		}
+		// Operands are stored in their stream-natural order (the layout a
+		// layout-aware mapper picks); the remaining slowdown is the bank
+		// contention the paper's Figs. 12/13 quantify.
+		layout.AnalyzeSchedule(fs, ifa, fla, ofa, true)
+	}
+	return layout.CombinedSlowdown(ifa, fla, ofa), nil
+}
+
+// layoutReplay is the retained per-cycle fallback: it streams the layer's
+// demand through the analyzers cycle by cycle, exactly as the closed-form
+// path summarizes it.
+func layoutReplay(df config.Dataflow, r, c int, g systolic.Gemm, ifa, fla, ofa *layout.Analyzer) error {
+	ifmapT, filterT, ofmapT := layout.NaturalTransforms(df, g.M, g.N, g.K)
 	var ifBuf, flBuf, ofBuf []int64
-	err = systolic.Stream(df, sc.Rows, sc.Cols, systolic.Gemm{M: m, N: n, K: k}, func(d *systolic.Demand) bool {
+	return systolic.Stream(df, r, c, g, func(d *systolic.Demand) bool {
 		ifBuf = layout.ApplyTransform(ifBuf[:0], d.IfmapReads, systolic.IfmapBase, ifmapT)
 		flBuf = layout.ApplyTransform(flBuf[:0], d.FilterReads, systolic.FilterBase, filterT)
 		ofBuf = layout.ApplyTransform(ofBuf[:0], d.OfmapWrites, systolic.OfmapBase, ofmapT)
@@ -289,15 +312,6 @@ func layoutSlowdown(sc *StageContext) (float64, error) {
 		ofa.Observe(ofBuf)
 		return true
 	})
-	if err != nil {
-		return 0, err
-	}
-	layoutCyc := ifa.LayoutCycles + fla.LayoutCycles + ofa.LayoutCycles
-	baseCyc := ifa.BaselineCycles + fla.BaselineCycles + ofa.BaselineCycles
-	if baseCyc == 0 {
-		return 0, nil
-	}
-	return float64(layoutCyc-baseCyc) / float64(baseCyc), nil
 }
 
 type memoryStage struct{}
