@@ -10,6 +10,7 @@ package scalesim_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	"scalesim"
@@ -19,6 +20,7 @@ import (
 	"scalesim/internal/layout"
 	"scalesim/internal/sram"
 	"scalesim/internal/systolic"
+	"scalesim/internal/telemetry"
 )
 
 func BenchmarkFig3PartitionTradeoff(b *testing.B) {
@@ -157,21 +159,31 @@ func BenchmarkDataflowDRAMStalls(b *testing.B) {
 // if the event engine reports zero skipped cycles: on a memory-bound
 // config like this one, cycle-skipping is the engine's core perf contract
 // (mirroring the cache-hit assertion in BenchmarkExploreCached).
+//
+// With SCALESIM_BENCH_TELEMETRY set, each iteration runs with a live span
+// attached — exactly what WithTrace threads into these engines — so CI can
+// gate the attached-vs-detached overhead on the stall-heavy path.
 func benchMemoryRun(b *testing.B, policy dram.RowPolicy, sched dram.Scheduler) {
 	b.Helper()
+	traced := os.Getenv("SCALESIM_BENCH_TELEMETRY") != ""
 	g := systolic.Gemm{M: 256, N: 128, K: 256}
 	for i := 0; i < b.N; i++ {
+		var span *telemetry.Span
+		if traced {
+			span = telemetry.NewTracer().Start("bench", "run")
+		}
 		s, err := sram.BuildSchedule(config.WeightStationary, 32, 32, g, sram.ScheduleOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
 		sys, err := dram.New(dram.DDR4_2400(), dram.Options{
-			Channels: 1, QueueDepth: 64, Policy: policy, Sched: sched,
+			Channels: 1, QueueDepth: 64, Policy: policy, Sched: sched, Trace: span,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := sram.Simulate(s, sys, sram.Options{MaxRequestsPerCycle: 1})
+		res, err := sram.Simulate(s, sys, sram.Options{MaxRequestsPerCycle: 1, Trace: span})
+		span.End()
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -39,8 +39,12 @@ func main() {
 		err = runServe(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "cache":
 		err = runCache(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "promcheck":
+		err = runPromcheck(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "run":
+		err = run(os.Args[2:])
 	default:
-		err = run()
+		err = run(os.Args[1:])
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scalesim:", err)
@@ -48,21 +52,25 @@ func main() {
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("scalesim run", flag.ExitOnError)
 	var (
-		cfgPath  = flag.String("config", "", "SCALE-Sim .cfg file (default: built-in 32x32 config)")
-		topoArg  = flag.String("topology", "", "builtin model name or topology CSV path (required)")
-		dataflow = flag.String("dataflow", "", "override dataflow: os, ws or is")
-		outDir   = flag.String("outdir", ".", "directory for report CSVs")
-		sparsity = flag.String("sparsity", "", "force N:M sparsity on all layers (e.g. 2:4)")
-		memory   = flag.Bool("memory", false, "enable the cycle-accurate DRAM model")
-		energy   = flag.Bool("energy", false, "enable energy/power estimation")
-		layoutF  = flag.Bool("layout", false, "enable data-layout bank-conflict modeling")
-		preset   = flag.String("preset", "", "config preset: default, tpu or eyeriss")
-		list     = flag.Bool("list", false, "list builtin topologies and exit")
-		traces   = flag.Bool("traces", false, "write cycle-accurate SRAM/DRAM trace CSVs")
+		cfgPath  = fs.String("config", "", "SCALE-Sim .cfg file (default: built-in 32x32 config)")
+		topoArg  = fs.String("topology", "", "builtin model name or topology CSV path (required)")
+		dataflow = fs.String("dataflow", "", "override dataflow: os, ws or is")
+		outDir   = fs.String("outdir", ".", "directory for report CSVs")
+		sparsity = fs.String("sparsity", "", "force N:M sparsity on all layers (e.g. 2:4)")
+		memory   = fs.Bool("memory", false, "enable the cycle-accurate DRAM model")
+		energy   = fs.Bool("energy", false, "enable energy/power estimation")
+		layoutF  = fs.Bool("layout", false, "enable data-layout bank-conflict modeling")
+		preset   = fs.String("preset", "", "config preset: default, tpu or eyeriss")
+		list     = fs.Bool("list", false, "list builtin topologies and exit")
+		traces   = fs.Bool("traces", false, "write cycle-accurate SRAM/DRAM trace CSVs")
+		traceDir = fs.String("trace", "", "write a Chrome trace-event JSON span trace to this directory (open at ui.perfetto.dev) and print the wall-time profile")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, n := range scalesim.BuiltinTopologyNames() {
@@ -71,7 +79,7 @@ func run() error {
 		return nil
 	}
 	if *topoArg == "" {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("missing -topology")
 	}
 
@@ -104,9 +112,17 @@ func run() error {
 	defer stop()
 
 	sim := scalesim.New(cfg)
-	res, err := sim.Run(ctx, topo)
+	var runOpts []scalesim.Option
+	if *traceDir != "" {
+		runOpts = append(runOpts, scalesim.WithTrace(*traceDir))
+	}
+	res, err := sim.Run(ctx, topo, runOpts...)
 	if err != nil {
 		return err
+	}
+	if p := res.Profile(); p != nil {
+		fmt.Print(p)
+		fmt.Printf("trace written to %s\n", *traceDir)
 	}
 	if *traces {
 		if err := sim.WriteTraces(topo, filepath.Join(*outDir, "traces")); err != nil {

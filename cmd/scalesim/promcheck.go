@@ -1,0 +1,41 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"scalesim/internal/telemetry"
+)
+
+// runPromcheck is the `scalesim promcheck` subcommand: validate that a
+// metrics exposition (a file argument, or stdin) parses as Prometheus
+// text format. CI pipes `curl /metrics` through it.
+func runPromcheck(args []string) error {
+	fs := flag.NewFlagSet("scalesim promcheck", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: scalesim promcheck [file]")
+		fmt.Fprintln(fs.Output(), "Validates a Prometheus text exposition read from file (or stdin).")
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if fs.NArg() > 0 && fs.Arg(0) != "-" {
+		data, err = os.ReadFile(fs.Arg(0))
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return fmt.Errorf("promcheck: %w", err)
+	}
+	if err := telemetry.CheckExposition(data); err != nil {
+		return fmt.Errorf("promcheck: %w", err)
+	}
+	fmt.Println("promcheck: ok")
+	return nil
+}

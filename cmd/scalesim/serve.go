@@ -5,8 +5,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,8 +52,16 @@ func runServe(args []string) error {
 		storeMB      = fs.Int("store-mb", 0, "store log capacity in MiB before GC (0 = default 1024)")
 		coordMode    = fs.Bool("coordinator", false, "dispatch jobs to -workers instead of simulating in-process")
 		workerList   = fs.String("workers", "", "comma-separated worker base URLs (required with -coordinator)")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this extra loopback listener (e.g. 127.0.0.1:6060); empty = off")
+		logLevel     = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat    = fs.String("log-format", "text", "log encoding: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -61,6 +71,7 @@ func runServe(args []string) error {
 		Parallelism: *parallelism,
 		MaxJobs:     *maxJobs,
 		Cache:       scalesim.NewCache(*cacheEntries, int64(*cacheMB)<<20),
+		Logger:      logger,
 	}
 	var coord *coordinator.Coordinator
 	if *coordMode {
@@ -75,6 +86,7 @@ func runServe(args []string) error {
 			Workers:    workers,
 			StoreDir:   *storeDir,
 			StoreBytes: int64(*storeMB) << 20,
+			Logger:     logger,
 		})
 		if err != nil {
 			return err
@@ -92,6 +104,16 @@ func runServe(args []string) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		pln, err := listenLoopback(*pprofAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer pln.Close()
+		go http.Serve(pln, pprofMux()) //nolint:errcheck // dies with the process
+		logger.Info("pprof listening", "addr", "http://"+pln.Addr().String()+"/debug/pprof/")
 	}
 	bound := ln.Addr().String()
 	if *portFile != "" {
@@ -146,4 +168,55 @@ func runServe(args []string) error {
 	}
 	fmt.Println("scalesim serve: drained cleanly")
 	return nil
+}
+
+// buildLogger resolves the -log-level / -log-format flags into an slog
+// logger writing to stderr.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, ho)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+// listenLoopback opens the pprof listener, refusing non-loopback binds so
+// profiling endpoints never face the network by accident.
+func listenLoopback(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-pprof address: %w", err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return nil, fmt.Errorf("-pprof address %s is not loopback; profiling stays local-only", addr)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// pprofMux mounts the net/http/pprof handlers on a fresh mux, keeping them
+// off the job API's handler entirely.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -177,6 +177,8 @@ type exploreOptions struct {
 	parallelism int
 	cache       *Cache
 	progress    func(ExploreProgress)
+	traceOn     bool
+	traceDir    string
 }
 
 // ExploreOption configures one Explore call.
@@ -250,6 +252,18 @@ func WithExploreCache(c *Cache) ExploreOption {
 // within a batch.
 func WithExploreProgress(fn func(ExploreProgress)) ExploreOption {
 	return func(o *exploreOptions) { o.progress = fn }
+}
+
+// WithExploreTrace enables span tracing for every candidate evaluation,
+// like WithTrace for Run: when dir is non-empty each candidate writes a
+// Chrome trace-event JSON file there, named after its "axis=value,..."
+// label. Big budgets produce one file per evaluated candidate — point the
+// directory somewhere disposable.
+func WithExploreTrace(dir string) ExploreOption {
+	return func(o *exploreOptions) {
+		o.traceOn = true
+		o.traceDir = dir
+	}
 }
 
 // FrontierPoint is one non-dominated design of a Frontier.
@@ -485,6 +499,9 @@ func Explore(ctx context.Context, base Config, topo *Topology, space Space, opts
 		}
 
 		sweepOpts := []Option{WithParallelism(o.parallelism), WithCache(cache)}
+		if o.traceOn {
+			sweepOpts = append(sweepOpts, WithTrace(o.traceDir))
+		}
 		if o.progress != nil {
 			evalBase, fn, g := batchBase+preFailed, o.progress, gen
 			sweepOpts = append(sweepOpts, WithSweepProgress(func(p SweepPointProgress) {

@@ -26,8 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +35,7 @@ import (
 	"scalesim"
 	"scalesim/internal/diskstore"
 	"scalesim/internal/simcache"
+	"scalesim/internal/telemetry"
 )
 
 // Options configures a Coordinator.
@@ -61,6 +62,11 @@ type Options struct {
 	// Default: number of workers + 1, so a job survives one worker dying
 	// even in a single-worker fleet.
 	MaxAttempts int
+	// Logger receives the coordinator's structured logs: dispatches and
+	// retries (with the triggering error and target worker) at Info/Warn,
+	// worker health transitions at Info. Every dispatch line carries the
+	// job ID the serving process stamped on the context. Nil discards.
+	Logger *slog.Logger
 }
 
 // worker is one fleet member with its latest observed health.
@@ -82,6 +88,7 @@ type flightCall struct {
 type Coordinator struct {
 	opts    Options
 	client  *http.Client
+	log     *slog.Logger
 	workers []*worker
 	rr      atomic.Uint64 // round-robin dispatch cursor
 
@@ -120,9 +127,14 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = len(opts.Workers) + 1
 	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	c := &Coordinator{
 		opts:   opts,
 		client: &http.Client{Timeout: 30 * time.Second},
+		log:    log,
 		flight: make(map[simcache.Key]*flightCall),
 		mem:    make(map[simcache.Key][]byte),
 	}
@@ -288,11 +300,14 @@ func (e errNonRetryable) Unwrap() error { return e.err }
 // another worker when the attempt fails retryably (worker unreachable,
 // admission rejected, worker died mid-job).
 func (c *Coordinator) dispatch(ctx context.Context, kind string, body []byte) ([]byte, scalesim.RunCacheStats, error) {
+	jobID := telemetry.JobID(ctx)
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
 			backoff := c.opts.RetryBackoff << (attempt - 1)
+			c.log.Warn("retrying dispatch", "job_id", jobID, "kind", kind,
+				"attempt", attempt+1, "backoff", backoff, "error", lastErr)
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
@@ -300,6 +315,7 @@ func (c *Coordinator) dispatch(ctx context.Context, kind string, body []byte) ([
 			}
 		}
 		w := c.pickWorker()
+		c.log.Info("dispatching job", "job_id", jobID, "kind", kind, "worker", w.url)
 		payload, cache, err := c.runOn(ctx, w, kind, body)
 		if err == nil {
 			return payload, cache, nil
@@ -512,11 +528,16 @@ func (c *Coordinator) healthLoop(ctx context.Context) {
 				}
 				resp, err := c.client.Do(req)
 				if err != nil {
-					w.healthy.Store(false)
+					if w.healthy.Swap(false) {
+						c.log.Info("worker health changed", "worker", w.url, "healthy", false)
+					}
 					return
 				}
 				resp.Body.Close()
-				w.healthy.Store(resp.StatusCode == http.StatusOK)
+				up := resp.StatusCode == http.StatusOK
+				if w.healthy.Swap(up) != up {
+					c.log.Info("worker health changed", "worker", w.url, "healthy", up)
+				}
 			}(w)
 		}
 		wg.Wait()
@@ -534,35 +555,32 @@ func (c *Coordinator) healthLoop(ctx context.Context) {
 	}
 }
 
-// WriteMetrics appends the coordinator's counters in Prometheus text
-// format; internal/server splices it into /metrics.
-func (c *Coordinator) WriteMetrics(wr io.Writer) {
-	fmt.Fprintf(wr, "# HELP scalesim_coordinator_dispatches_total Job dispatch attempts sent to workers.\n")
-	fmt.Fprintf(wr, "# TYPE scalesim_coordinator_dispatches_total counter\n")
-	fmt.Fprintf(wr, "scalesim_coordinator_dispatches_total %d\n", c.dispatches.Load())
-	fmt.Fprintf(wr, "# HELP scalesim_coordinator_retries_total Dispatch attempts beyond each job's first.\n")
-	fmt.Fprintf(wr, "# TYPE scalesim_coordinator_retries_total counter\n")
-	fmt.Fprintf(wr, "scalesim_coordinator_retries_total %d\n", c.retries.Load())
-	fmt.Fprintf(wr, "# HELP scalesim_coordinator_store_hits_total Jobs answered from the payload store.\n")
-	fmt.Fprintf(wr, "# TYPE scalesim_coordinator_store_hits_total counter\n")
-	fmt.Fprintf(wr, "scalesim_coordinator_store_hits_total %d\n", c.storeHits.Load())
-	fmt.Fprintf(wr, "# HELP scalesim_coordinator_store_misses_total Jobs that had to be dispatched.\n")
-	fmt.Fprintf(wr, "# TYPE scalesim_coordinator_store_misses_total counter\n")
-	fmt.Fprintf(wr, "scalesim_coordinator_store_misses_total %d\n", c.storeMisses.Load())
-	fmt.Fprintf(wr, "# HELP scalesim_coordinator_worker_up Worker health from the last probe (1 healthy).\n")
-	fmt.Fprintf(wr, "# TYPE scalesim_coordinator_worker_up gauge\n")
-	urls := make([]string, len(c.workers))
-	byURL := make(map[string]*worker, len(c.workers))
-	for i, w := range c.workers {
-		urls[i] = w.url
-		byURL[w.url] = w
+// RegisterMetrics implements server.MetricsRegistrar: the coordinator's
+// counters join the serving process's /metrics registry as scrape-time
+// collectors, rendered in the same sorted exposition as the server's own.
+func (c *Coordinator) RegisterMetrics(reg *telemetry.Registry) {
+	counter := func(name, help string, v *atomic.Int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
 	}
-	sort.Strings(urls)
-	for _, u := range urls {
-		up := 0
-		if byURL[u].healthy.Load() {
-			up = 1
-		}
-		fmt.Fprintf(wr, "scalesim_coordinator_worker_up{worker=%q} %d\n", u, up)
-	}
+	counter("scalesim_coordinator_dispatches_total",
+		"Job dispatch attempts sent to workers.", &c.dispatches)
+	counter("scalesim_coordinator_retries_total",
+		"Dispatch attempts beyond each job's first.", &c.retries)
+	counter("scalesim_coordinator_store_hits_total",
+		"Jobs answered from the payload store.", &c.storeHits)
+	counter("scalesim_coordinator_store_misses_total",
+		"Jobs that had to be dispatched.", &c.storeMisses)
+	reg.GaugeVecFunc("scalesim_coordinator_worker_up",
+		"Worker health from the last probe (1 healthy).", []string{"worker"},
+		func() []telemetry.Sample {
+			samples := make([]telemetry.Sample, len(c.workers))
+			for i, w := range c.workers {
+				up := 0.0
+				if w.healthy.Load() {
+					up = 1
+				}
+				samples[i] = telemetry.Sample{LabelValues: []string{w.url}, Value: up}
+			}
+			return samples
+		})
 }

@@ -3,6 +3,8 @@ package dram
 import (
 	"fmt"
 	"math/bits"
+
+	"scalesim/internal/telemetry"
 )
 
 // Request is one memory transaction submitted to the DRAM system.
@@ -64,6 +66,10 @@ type Options struct {
 	Sched      Scheduler
 	// DisableRefresh turns periodic refresh off (useful in unit tests).
 	DisableRefresh bool
+	// Trace is the parent telemetry span; RunUntilDrained records its
+	// final drain as a "dram.drain" phase under it. Nil — the default —
+	// records nothing at zero cost.
+	Trace *telemetry.Span
 	// ReferenceTicks makes AdvanceTo, RunUntilDrained and SimulateTrace
 	// advance the clock one Tick per cycle instead of jumping between
 	// events. The two modes are cycle-for-cycle identical; the reference
@@ -440,6 +446,16 @@ func (s *System) AdvanceTo(target int64) {
 // RunUntilDrained advances until no requests are pending or maxCycles
 // elapses. It returns the number of cycles advanced.
 func (s *System) RunUntilDrained(maxCycles int64) (int64, error) {
+	sp := s.Opts.Trace.Child("dram.drain", "phase")
+	if sp != nil {
+		sp.SetAttr("pending", s.Pending())
+		defer func() {
+			st := s.Stats()
+			sp.SetAttr("row_hits", st.RowHits)
+			sp.SetAttr("row_misses", st.RowMisses)
+			sp.End()
+		}()
+	}
 	start := s.now
 	for s.Pending() > 0 {
 		if maxCycles >= 0 && s.now-start >= maxCycles {

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"scalesim"
+	"scalesim/internal/telemetry"
 )
 
 // Options configures a Server.
@@ -47,6 +49,10 @@ type Options struct {
 	// here (see internal/coordinator); the job queue, states, events and
 	// report endpoints behave identically either way.
 	Executor Executor
+	// Logger receives the server's structured logs (job lifecycle at Info,
+	// per-request access logs at Debug). Every job line carries the job ID
+	// and the owning worker shard. Nil discards all logs.
+	Logger *slog.Logger
 }
 
 // Executor runs accepted jobs somewhere other than this process.
@@ -54,12 +60,6 @@ type Options struct {
 // yield byte-identical payloads.
 type Executor interface {
 	Execute(ctx context.Context, kind string, body []byte) (payload []byte, cache scalesim.RunCacheStats, err error)
-}
-
-// MetricsWriter is optionally implemented by an Executor to splice its own
-// counters into GET /metrics.
-type MetricsWriter interface {
-	WriteMetrics(w io.Writer)
 }
 
 var (
@@ -80,6 +80,7 @@ type shard struct {
 type Server struct {
 	opts  Options
 	cache *scalesim.Cache
+	log   *slog.Logger
 
 	baseCtx   context.Context
 	forceStop context.CancelFunc
@@ -93,6 +94,14 @@ type Server struct {
 
 	shards []*shard
 	wg     sync.WaitGroup
+
+	// Metric instruments; the remaining families are scrape-time
+	// collectors registered in initMetrics.
+	reg           *telemetry.Registry
+	httpInFlight  *telemetry.Gauge
+	httpRequests  *telemetry.CounterVec
+	httpDuration  *telemetry.HistogramVec
+	jobsCompleted *telemetry.CounterVec
 }
 
 // New builds a Server and starts its shard workers. Call Drain to stop.
@@ -113,10 +122,15 @@ func New(opts Options) *Server {
 	if cache == nil {
 		cache = scalesim.SharedCache()
 	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:      opts,
 		cache:     cache,
+		log:       log,
 		baseCtx:   ctx,
 		forceStop: cancel,
 		jobs:      make(map[string]*Job),
@@ -124,8 +138,11 @@ func New(opts Options) *Server {
 	for i := 0; i < opts.Shards; i++ {
 		sh := &shard{queue: make(chan *Job, opts.QueueDepth)}
 		s.shards = append(s.shards, sh)
+	}
+	s.initMetrics()
+	for i, sh := range s.shards {
 		s.wg.Add(1)
-		go s.worker(sh)
+		go s.worker(i, sh)
 	}
 	return s
 }
@@ -135,17 +152,29 @@ func (s *Server) Shards() int { return len(s.shards) }
 
 // worker drains one shard's queue. Jobs canceled while queued are skipped
 // by tryStart.
-func (s *Server) worker(sh *shard) {
+func (s *Server) worker(id int, sh *shard) {
 	defer s.wg.Done()
 	for j := range sh.queue {
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		if !j.tryStart(cancel) {
 			cancel()
+			s.jobsCompleted.With(string(j.State())).Inc()
 			continue
 		}
+		s.log.Info("job started", "job_id", j.ID(), "worker_id", id, "kind", j.kind)
+		ctx = telemetry.WithJobID(ctx, j.ID())
 		payload, cache, err := j.run(ctx, j)
 		cancel()
 		j.finish(payload, cache, err)
+		state := j.State()
+		s.jobsCompleted.With(string(state)).Inc()
+		if err != nil {
+			s.log.Warn("job finished", "job_id", j.ID(), "worker_id", id,
+				"state", string(state), "error", err)
+		} else {
+			s.log.Info("job finished", "job_id", j.ID(), "worker_id", id,
+				"state", string(state), "payload_bytes", len(payload))
+		}
 	}
 }
 
@@ -209,6 +238,7 @@ func (s *Server) enqueue(kind string, run func(context.Context, *Job) ([]byte, s
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.evictOldJobsLocked()
+	s.log.Info("job accepted", "job_id", id, "kind", kind, "worker_id", j.shard)
 	return j, nil
 }
 
@@ -254,7 +284,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.instrument(mux)
 }
 
 // writeJSON writes v as an indented JSON response.
@@ -709,94 +739,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics exposes job and shared-cache counters in the Prometheus
-// text format.
+// handleMetrics renders the server's metric registry — job, shard, cache,
+// store, HTTP and any executor-registered families — in the Prometheus text
+// format. Scrape-time collectors sample live state; see initMetrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	states := map[JobState]int{}
-	for _, j := range s.jobs {
-		states[j.State()]++
-	}
-	accepted := s.accepted
-	draining := 0
-	if s.draining {
-		draining = 1
-	}
-	queueLens := make([]int, len(s.shards))
-	for i, sh := range s.shards {
-		queueLens[i] = len(sh.queue)
-	}
-	s.mu.Unlock()
-
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "# HELP scalesim_jobs_accepted_total Jobs accepted since server start.\n")
-	fmt.Fprintf(&b, "# TYPE scalesim_jobs_accepted_total counter\n")
-	fmt.Fprintf(&b, "scalesim_jobs_accepted_total %d\n", accepted)
-	fmt.Fprintf(&b, "# HELP scalesim_jobs Jobs currently tracked, by state.\n")
-	fmt.Fprintf(&b, "# TYPE scalesim_jobs gauge\n")
-	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {
-		fmt.Fprintf(&b, "scalesim_jobs{state=%q} %d\n", st, states[st])
-	}
-	fmt.Fprintf(&b, "# HELP scalesim_shard_queue_length Queued jobs per shard.\n")
-	fmt.Fprintf(&b, "# TYPE scalesim_shard_queue_length gauge\n")
-	for i, n := range queueLens {
-		fmt.Fprintf(&b, "scalesim_shard_queue_length{shard=\"%d\"} %d\n", i, n)
-	}
-	fmt.Fprintf(&b, "# HELP scalesim_draining Whether the server is draining (1) or accepting (0).\n")
-	fmt.Fprintf(&b, "# TYPE scalesim_draining gauge\n")
-	fmt.Fprintf(&b, "scalesim_draining %d\n", draining)
-
-	cs := s.cache.Stats()
-	fmt.Fprintf(&b, "# HELP scalesim_cache_hits_total Shared layer-cache hits.\n")
-	fmt.Fprintf(&b, "# TYPE scalesim_cache_hits_total counter\n")
-	fmt.Fprintf(&b, "scalesim_cache_hits_total %d\n", cs.Hits)
-	fmt.Fprintf(&b, "# HELP scalesim_cache_misses_total Shared layer-cache misses.\n")
-	fmt.Fprintf(&b, "# TYPE scalesim_cache_misses_total counter\n")
-	fmt.Fprintf(&b, "scalesim_cache_misses_total %d\n", cs.Misses)
-	fmt.Fprintf(&b, "# HELP scalesim_cache_evictions_total Shared layer-cache evictions.\n")
-	fmt.Fprintf(&b, "# TYPE scalesim_cache_evictions_total counter\n")
-	fmt.Fprintf(&b, "scalesim_cache_evictions_total %d\n", cs.Evictions)
-	fmt.Fprintf(&b, "# HELP scalesim_cache_entries Shared layer-cache current entries.\n")
-	fmt.Fprintf(&b, "# TYPE scalesim_cache_entries gauge\n")
-	fmt.Fprintf(&b, "scalesim_cache_entries %d\n", cs.Entries)
-	fmt.Fprintf(&b, "# HELP scalesim_cache_bytes Shared layer-cache accounted bytes.\n")
-	fmt.Fprintf(&b, "# TYPE scalesim_cache_bytes gauge\n")
-	fmt.Fprintf(&b, "scalesim_cache_bytes %d\n", cs.Bytes)
-	fmt.Fprintf(&b, "# HELP scalesim_cache_store_hits_total Memory misses answered by the persistent store tier.\n")
-	fmt.Fprintf(&b, "# TYPE scalesim_cache_store_hits_total counter\n")
-	fmt.Fprintf(&b, "scalesim_cache_store_hits_total %d\n", cs.StoreHits)
-	fmt.Fprintf(&b, "# HELP scalesim_cache_store_misses_total Lookups that missed both memory and the store tier.\n")
-	fmt.Fprintf(&b, "# TYPE scalesim_cache_store_misses_total counter\n")
-	fmt.Fprintf(&b, "scalesim_cache_store_misses_total %d\n", cs.StoreMisses)
-
-	if ss, ok := s.cache.StoreStats(); ok {
-		fmt.Fprintf(&b, "# HELP scalesim_store_entries Persistent store live entries.\n")
-		fmt.Fprintf(&b, "# TYPE scalesim_store_entries gauge\n")
-		fmt.Fprintf(&b, "scalesim_store_entries %d\n", ss.Entries)
-		fmt.Fprintf(&b, "# HELP scalesim_store_log_bytes Persistent store log size.\n")
-		fmt.Fprintf(&b, "# TYPE scalesim_store_log_bytes gauge\n")
-		fmt.Fprintf(&b, "scalesim_store_log_bytes %d\n", ss.LogBytes)
-		fmt.Fprintf(&b, "# HELP scalesim_store_hits_total Persistent store lookup hits since open.\n")
-		fmt.Fprintf(&b, "# TYPE scalesim_store_hits_total counter\n")
-		fmt.Fprintf(&b, "scalesim_store_hits_total %d\n", ss.Hits)
-		fmt.Fprintf(&b, "# HELP scalesim_store_misses_total Persistent store lookup misses since open.\n")
-		fmt.Fprintf(&b, "# TYPE scalesim_store_misses_total counter\n")
-		fmt.Fprintf(&b, "scalesim_store_misses_total %d\n", ss.Misses)
-		fmt.Fprintf(&b, "# HELP scalesim_store_put_bytes_total Payload bytes appended to the store since open.\n")
-		fmt.Fprintf(&b, "# TYPE scalesim_store_put_bytes_total counter\n")
-		fmt.Fprintf(&b, "scalesim_store_put_bytes_total %d\n", ss.PutBytes)
-		fmt.Fprintf(&b, "# HELP scalesim_store_snapshot_age_seconds Seconds since the last index snapshot (-1 when none).\n")
-		fmt.Fprintf(&b, "# TYPE scalesim_store_snapshot_age_seconds gauge\n")
-		age := int64(-1)
-		if ss.SnapshotUnix > 0 {
-			age = time.Now().Unix() - ss.SnapshotUnix
-		}
-		fmt.Fprintf(&b, "scalesim_store_snapshot_age_seconds %d\n", age)
-	}
-	if mw, ok := s.opts.Executor.(MetricsWriter); ok {
-		mw.WriteMetrics(&b)
-	}
-
+	s.reg.WritePrometheus(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)
 	w.Write(b.Bytes()) //nolint:errcheck

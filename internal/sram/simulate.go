@@ -5,6 +5,7 @@ import (
 
 	"scalesim/internal/config"
 	"scalesim/internal/dram"
+	"scalesim/internal/telemetry"
 )
 
 // Options configures the memory replay.
@@ -34,6 +35,10 @@ type Options struct {
 	// events. Slow; retained as the oracle the event engine's
 	// differential tests compare against.
 	ReferenceTickLoop bool
+	// Trace is the parent telemetry span (typically the memory stage's);
+	// the replay opens "sram.stream" and "sram.drain" phase spans under
+	// it. Nil — the default — records nothing at zero cost.
+	Trace *telemetry.Span
 }
 
 // TraceEntry is one recorded DRAM transaction.
@@ -269,6 +274,14 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 	// WS/IS outputs stream out of the array continuously; OS outputs
 	// drain once at the end of the fold.
 	pacedWrites := sched.Dataflow != config.OutputStationary
+
+	engine := "event"
+	if opts.ReferenceTickLoop {
+		engine = "reference"
+	}
+	stream := opts.Trace.Child("sram.stream", "phase")
+	stream.SetAttr("engine", engine)
+	stream.SetAttr("folds", len(sched.Folds))
 
 	now := int64(0)
 	// advanceTo moves the accelerator clock and the DRAM system — clocked
@@ -541,10 +554,13 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 		started = false
 		statDone = 0
 	}
+	stream.SetAttr("queue_full_cycles", res.QueueFullCyc)
+	stream.End()
 
 	// Flush remaining writes, jumping between controller events while the
 	// queue stays full (the reference loop retries every cycle; neither
 	// counts these toward QueueFullCyc).
+	drain := opts.Trace.Child("sram.drain", "phase")
 	for writeFold < len(folds) {
 		wr := materialize(writeFold)
 		if writeIdx >= len(wr.writes) {
@@ -563,8 +579,10 @@ func Simulate(sched *Schedule, sys *dram.System, opts Options) (*Result, error) 
 		}
 	}
 	if _, err := sys.RunUntilDrained(opts.MaxCycles); err != nil {
+		drain.End()
 		return nil, err
 	}
+	drain.End()
 
 	res.TotalCycles = now
 	res.StallCycles = res.TotalCycles - res.ComputeCycles

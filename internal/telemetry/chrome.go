@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event (the "X" complete-event form:
+// name, category, start timestamp and duration in microseconds, process
+// and thread lanes, and an args object holding the span attributes).
+// The format is documented by the Trace Event Format spec and loads in
+// Perfetto (ui.perfetto.dev) and chrome://tracing.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds since trace start
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object envelope ({"traceEvents": [...]}), the
+// form Perfetto detects unambiguously.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the finished spans as Chrome trace-event JSON.
+// Spans appear as complete ("X") events ordered by start time; the span
+// tree is implied by nesting (Perfetto stacks events on the same track by
+// containment). Attributes become the event's args, plus a "spanId" /
+// "parentSpanId" pair so the exact tree survives even across tracks.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`+"\n")
+		return err
+	}
+	recs := t.Records()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(recs)), DisplayUnit: "ns"}
+	for _, r := range recs {
+		ev := chromeEvent{
+			Name: r.Name,
+			Cat:  r.Cat,
+			Ph:   "X",
+			Ts:   float64(r.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(r.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  r.Track,
+		}
+		if len(r.Attrs) > 0 || r.Parent != 0 {
+			ev.Args = make(map[string]any, len(r.Attrs)+2)
+			for _, a := range r.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+			ev.Args["spanId"] = r.ID
+			if r.Parent != 0 {
+				ev.Args["parentSpanId"] = r.Parent
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

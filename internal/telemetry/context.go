@@ -1,0 +1,21 @@
+package telemetry
+
+import "context"
+
+// Job-ID propagation. The server stamps the job ID onto the context it
+// hands the executor; downstream layers (coordinator dispatch, logging)
+// read it back so every log line about a job carries the same ID without
+// plumbing a parameter through the Executor seam.
+
+type jobIDKey struct{}
+
+// WithJobID returns a context carrying the job ID.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobIDKey{}, id)
+}
+
+// JobID returns the job ID stamped by WithJobID, or "" if none.
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey{}).(string)
+	return id
+}

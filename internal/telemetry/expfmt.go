@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Minimal validator for the Prometheus text exposition format. It covers
+// the subset this repo emits — HELP/TYPE comments, optional labels, float
+// values — and exists so tests and CI can assert /metrics is parseable
+// without depending on promtool.
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	labelPairRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// CheckExposition validates a text-format exposition body, returning a
+// descriptive error for the first malformed line. It checks metric and
+// label name syntax, value parseability, TYPE validity, and that TYPE is
+// declared at most once per family and before that family's samples.
+func CheckExposition(body []byte) error {
+	typed := map[string]string{} // family -> declared type
+	sampled := map[string]bool{} // family has emitted samples
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line, typed, sampled); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := checkSample(line, typed, sampled); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkComment(line string, typed map[string]string, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("malformed HELP line: %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("malformed TYPE line: %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("invalid metric type %q for %s", typ, name)
+		}
+		if _, dup := typed[name]; dup {
+			return fmt.Errorf("duplicate TYPE declaration for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %s declared after its samples", name)
+		}
+		typed[name] = typ
+	}
+	return nil
+}
+
+func checkSample(line string, typed map[string]string, sampled map[string]bool) error {
+	// The metric name runs to the label block or the first whitespace.
+	// Label values are quoted and may contain any character (spaces,
+	// braces, escaped quotes), so the closing '}' must be found with
+	// quote-awareness rather than a regex.
+	nameEnd := strings.IndexAny(line, "{ \t")
+	if nameEnd <= 0 {
+		return fmt.Errorf("malformed sample line: %q", line)
+	}
+	name := line[:nameEnd]
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q in %q", name, line)
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		end := labelBlockEnd(rest)
+		if end < 0 {
+			return fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := checkLabels(rest[:end+1]); err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	sampled[baseFamily(name, typed)] = true
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("malformed sample line: %q", line)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("unparseable timestamp %q in %q", fields[1], line)
+		}
+	}
+	switch value := fields[0]; value {
+	case "+Inf", "-Inf", "NaN":
+		return nil
+	default:
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("unparseable value %q in %q", value, line)
+		}
+	}
+	return nil
+}
+
+// labelBlockEnd returns the index of the '}' closing a label block that
+// starts at s[0] == '{', honoring quoting and backslash escapes inside
+// label values. Returns -1 when the block never closes.
+func labelBlockEnd(s string) int {
+	inQuote, escaped := false, false
+	for i, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\' && inQuote:
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+		case r == '}' && !inQuote:
+			return i
+		}
+	}
+	return -1
+}
+
+// baseFamily maps a sample name back to its family: histogram/summary
+// series names carry _bucket/_sum/_count suffixes.
+func baseFamily(name string, typed map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if t := typed[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func checkLabels(braced string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(braced, "{"), "}")
+	if inner == "" {
+		return nil
+	}
+	for _, pair := range splitLabelPairs(inner) {
+		m := labelPairRe.FindStringSubmatch(pair)
+		if m == nil {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+		if !labelNameRe.MatchString(m[1]) {
+			return fmt.Errorf("invalid label name %q", m[1])
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteRune(r)
+		case r == '\\' && inQuote:
+			escaped = true
+			cur.WriteRune(r)
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

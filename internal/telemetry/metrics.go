@@ -1,0 +1,364 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format (version 0.0.4): one `# HELP` and `# TYPE` line per
+// family, families sorted by name, series sorted by label values. All
+// methods are safe for concurrent use.
+//
+// Two kinds of families exist: instrument-backed (Counter, Gauge,
+// Histogram and their labeled Vec forms — updated by the instrumented
+// code) and func-backed (CounterFunc, GaugeFunc and their Vec forms —
+// sampled at scrape time, the natural fit for counters owned by another
+// subsystem, like cache statistics).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// Sample is one labeled value returned by a Vec-func collector.
+type Sample struct {
+	// LabelValues correspond positionally to the family's label names.
+	LabelValues []string
+	Value       float64
+}
+
+type family struct {
+	name, help, typ string
+	labelNames      []string
+	buckets         []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+
+	collect func() []Sample // func-backed families
+}
+
+type series struct {
+	labelValues []string
+	bits        atomic.Uint64 // float64 bits (counter/gauge)
+
+	histMu sync.Mutex
+	counts []uint64 // per-bucket (non-cumulative), one extra for +Inf
+	sum    float64
+	count  uint64
+}
+
+func (s *series) add(v float64) {
+	for {
+		old := s.bits.Load()
+		nv := math.Float64frombits(old) + v
+		if s.bits.CompareAndSwap(old, math.Float64bits(nv)) {
+			return
+		}
+	}
+}
+
+func (s *series) set(v float64) { s.bits.Store(math.Float64bits(v)) }
+func (s *series) get() float64  { return math.Float64frombits(s.bits.Load()) }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register installs a family, panicking on a duplicate name — metric
+// names are a global namespace and a silent collision would corrupt the
+// exposition.
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[f.name]; ok {
+		panic("telemetry: duplicate metric registration: " + f.name)
+	}
+	f.series = make(map[string]*series)
+	r.families[f.name] = f
+	return f
+}
+
+// Counter is a monotonically increasing value. Use Add with non-negative
+// deltas only.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.add(1) }
+
+// Add adds v (must be non-negative for counters).
+func (c *Counter) Add(v float64) { c.s.add(v) }
+
+// Value returns the current value (for tests).
+func (c *Counter) Value() float64 { return c.s.get() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.s.set(v) }
+
+// Add adjusts the value by v (negative deltas allowed).
+func (g *Gauge) Add(v float64) { g.s.add(v) }
+
+// Value returns the current value (for tests).
+func (g *Gauge) Value() float64 { return g.s.get() }
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, typ: "counter"})
+	return &Counter{s: f.getSeries(nil)}
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(&family{name: name, help: help, typ: "gauge"})
+	return &Gauge{s: f.getSeries(nil)}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.register(&family{name: name, help: help, typ: "counter", labelNames: labelNames})}
+}
+
+// With returns the counter for the given label values (created on first
+// use). Values correspond positionally to the registered label names.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return &Counter{s: v.f.getSeries(labelValues)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(&family{name: name, help: help, typ: "gauge", labelNames: labelNames})}
+}
+
+// With returns the gauge for the given label values (created on first use).
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return &Gauge{s: v.f.getSeries(labelValues)}
+}
+
+// CounterFunc registers a counter sampled at scrape time.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "counter",
+		collect: func() []Sample { return []Sample{{Value: fn()}} }})
+}
+
+// GaugeFunc registers a gauge sampled at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "gauge",
+		collect: func() []Sample { return []Sample{{Value: fn()}} }})
+}
+
+// CounterVecFunc registers a labeled counter family whose samples are
+// collected at scrape time. The collector may return a different set of
+// series on every scrape (e.g. one per live worker).
+func (r *Registry) CounterVecFunc(name, help string, labelNames []string, collect func() []Sample) {
+	r.register(&family{name: name, help: help, typ: "counter", labelNames: labelNames, collect: collect})
+}
+
+// GaugeVecFunc registers a labeled gauge family collected at scrape time.
+func (r *Registry) GaugeVecFunc(name, help string, labelNames []string, collect func() []Sample) {
+	r.register(&family{name: name, help: help, typ: "gauge", labelNames: labelNames, collect: collect})
+}
+
+// DefBuckets are the default histogram buckets, sized for request
+// latencies in seconds (1ms to ~100s).
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 100}
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Histogram registers an unlabeled histogram. A nil buckets slice selects
+// DefBuckets. Bucket bounds must be sorted ascending; +Inf is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(&family{name: name, help: help, typ: "histogram", buckets: buckets})
+	return &Histogram{f: f, s: f.getSeries(nil)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family. A nil buckets slice
+// selects DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.register(&family{name: name, help: help, typ: "histogram", buckets: buckets, labelNames: labelNames})}
+}
+
+// With returns the histogram for the given label values (created on first
+// use).
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return &Histogram{f: v.f, s: v.f.getSeries(labelValues)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	s := h.s
+	s.histMu.Lock()
+	if s.counts == nil {
+		s.counts = make([]uint64, len(h.f.buckets)+1)
+	}
+	i := sort.SearchFloat64s(h.f.buckets, v) // first bucket with bound >= v
+	s.counts[i]++
+	s.sum += v
+	s.count++
+	s.histMu.Unlock()
+}
+
+// getSeries returns (creating on first use) the series for the label
+// values, keyed by their joined rendering.
+func (f *family) getSeries(labelValues []string) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: metric %s expects %d label value(s), got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), labelValues...)}
+	f.series[key] = s
+	return s
+}
+
+// WritePrometheus renders every family in the text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+func (f *family) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+
+	if f.collect != nil {
+		samples := f.collect()
+		sort.Slice(samples, func(i, j int) bool {
+			return strings.Join(samples[i].LabelValues, "\x00") < strings.Join(samples[j].LabelValues, "\x00")
+		})
+		for _, s := range samples {
+			fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(f.labelNames, s.LabelValues), formatValue(s.Value))
+		}
+		return
+	}
+
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sers := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		sers = append(sers, f.series[k])
+	}
+	f.mu.Unlock()
+
+	for _, s := range sers {
+		if f.typ == "histogram" {
+			s.writeHistogram(w, f)
+			continue
+		}
+		fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(f.labelNames, s.labelValues), formatValue(s.get()))
+	}
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count triple of one
+// histogram series.
+func (s *series) writeHistogram(w io.Writer, f *family) {
+	s.histMu.Lock()
+	counts := append([]uint64(nil), s.counts...)
+	sum, count := s.sum, s.count
+	s.histMu.Unlock()
+	if counts == nil {
+		counts = make([]uint64, len(f.buckets)+1)
+	}
+	var cum uint64
+	for i, bound := range f.buckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			renderLabels(append(f.labelNames, "le"), append(s.labelValues, formatValue(bound))), cum)
+	}
+	cum += counts[len(f.buckets)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+		renderLabels(append(f.labelNames, "le"), append(s.labelValues, "+Inf")), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(f.labelNames, s.labelValues), formatValue(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(f.labelNames, s.labelValues), count)
+}
+
+// renderLabels renders {name="value",...}, or "" for unlabeled series.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Total requests.")
+	c.Add(2)
+	g := r.Gauge("test_in_flight", "In-flight requests.")
+	g.Set(3)
+	g.Add(-1)
+	cv := r.CounterVec("test_jobs_total", "Jobs by state.", "state")
+	cv.With("done").Inc()
+	cv.With("failed").Add(4)
+	r.GaugeFunc("test_age_seconds", "Age.", func() float64 { return 1.5 })
+	r.GaugeVecFunc("test_worker_up", "Worker liveness.", []string{"worker"}, func() []Sample {
+		return []Sample{
+			{LabelValues: []string{"b"}, Value: 0},
+			{LabelValues: []string{"a"}, Value: 1},
+		}
+	})
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP test_requests_total Total requests.\n",
+		"# TYPE test_requests_total counter\n",
+		"test_requests_total 2\n",
+		"test_in_flight 2\n",
+		`test_jobs_total{state="done"} 1` + "\n",
+		`test_jobs_total{state="failed"} 4` + "\n",
+		"test_age_seconds 1.5\n",
+		`test_worker_up{worker="a"} 1` + "\n",
+		`test_worker_up{worker="b"} 0` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// Families must be sorted and func-backed samples sorted by label value.
+	if strings.Index(out, "test_age_seconds") > strings.Index(out, "test_in_flight") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+	if strings.Index(out, `worker="a"`) > strings.Index(out, `worker="b"`) {
+		t.Errorf("func samples not sorted by label value:\n%s", out)
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition fails validation: %v", err)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("test_latency_seconds", "Latency.", []float64{0.1, 1}, "path")
+	h.With("/v1/runs").Observe(0.05)
+	h.With("/v1/runs").Observe(0.5)
+	h.With("/v1/runs").Observe(5)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{path="/v1/runs",le="0.1"} 1`,
+		`test_latency_seconds_bucket{path="/v1/runs",le="1"} 2`,
+		`test_latency_seconds_bucket{path="/v1/runs",le="+Inf"} 3`,
+		`test_latency_seconds_sum{path="/v1/runs"} 5.55`,
+		`test_latency_seconds_count{path="/v1/runs"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition fails validation: %v", err)
+	}
+}
+
+func TestHistogramBoundaryObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_h", "h", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `test_h_bucket{le="1"} 1`) {
+		t.Fatalf("observation at bound not counted in that bucket:\n%s", buf.String())
+	}
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "t")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %v, want 8000", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("test_g", "with \"quotes\" and\nnewline", "l").With(`a"b\c`).Set(1)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `# HELP test_g with "quotes" and\nnewline`) {
+		t.Errorf("help not escaped: %s", out)
+	}
+	if !strings.Contains(out, `test_g{l="a\"b\\c"} 1`) {
+		t.Errorf("label value not escaped: %s", out)
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("escaped exposition fails validation: %v", err)
+	}
+}
+
+func TestCheckExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":   "9bad_name 1\n",
+		"bad value":  "good_name one\n",
+		"bad type":   "# TYPE x flavor\n",
+		"dup type":   "# TYPE x counter\n# TYPE x counter\n",
+		"type after": "x 1\n# TYPE x counter\n",
+		"bad label":  `x{9l="v"} 1` + "\n",
+		"unquoted":   `x{l=v} 1` + "\n",
+	}
+	for name, body := range cases {
+		if err := CheckExposition([]byte(body)); err == nil {
+			t.Errorf("%s: CheckExposition accepted %q", name, body)
+		}
+	}
+	if err := CheckExposition([]byte("# TYPE x histogram\nx_bucket{le=\"+Inf\"} 1\nx_sum 0.5\nx_count 1\n")); err != nil {
+		t.Errorf("valid histogram rejected: %v", err)
+	}
+}
+
+func TestCheckExpositionLabelValueSpecials(t *testing.T) {
+	// Label values may contain spaces, braces, commas and escaped quotes —
+	// mux route patterns like "GET /v1/jobs/{id}" exercise all of these.
+	body := `x{route="GET /v1/jobs/{id}",code="200"} 3` + "\n" +
+		`x{route="a,b and \"c\""} 1 1700000000` + "\n"
+	if err := CheckExposition([]byte(body)); err != nil {
+		t.Fatalf("CheckExposition rejected valid label values: %v", err)
+	}
+	if err := CheckExposition([]byte(`x{route="open 1` + "\n")); err == nil {
+		t.Error("CheckExposition accepted an unterminated label block")
+	}
+}

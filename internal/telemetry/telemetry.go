@@ -1,0 +1,175 @@
+// Package telemetry is the dependency-free observability core shared by
+// every layer of the simulator: hierarchical wall-time spans (exportable
+// as Chrome trace-event JSON), and a Prometheus-style metrics registry
+// (counters, gauges, histograms with text exposition).
+//
+// The package is built around a nil-receiver zero-overhead fast path:
+// every method on *Tracer and *Span is safe to call on a nil receiver and
+// does nothing, so instrumented code carries no branches beyond the
+// receiver nil check and no allocations when telemetry is detached.
+// Code threads a *Span through unconditionally:
+//
+//	span := parent.Child("sram.stream", "phase") // nil parent → nil child
+//	...
+//	span.SetAttr("folds", folds)                 // no-op when nil
+//	span.End()
+//
+// Tracers and spans are safe for concurrent use: layers of a run simulate
+// on a worker pool and each goroutine finishes its own spans.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value attribute attached to a span. Values are kept as
+// produced (string, int64, float64, bool) and marshaled verbatim into the
+// Chrome trace "args" object.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// SpanRecord is one finished span as retained by the Tracer: its identity,
+// position in the span tree, wall-clock extent relative to the trace
+// start, and attributes.
+type SpanRecord struct {
+	// ID is unique within the trace; Parent is the enclosing span's ID, or
+	// 0 for a root span.
+	ID, Parent int64
+	// Name labels the span (layer name, stage name, phase name).
+	Name string
+	// Cat is the span's category: "run", "layer", "stage" or "phase" for
+	// simulation traces.
+	Cat string
+	// Track is the display lane (Chrome trace tid). Children inherit their
+	// parent's track unless SetTrack overrides it.
+	Track int
+	// Start is the span's start relative to the tracer's epoch; Dur is its
+	// wall-clock duration.
+	Start, Dur time.Duration
+	// Attrs are the span's attributes in the order they were set.
+	Attrs []Attr
+}
+
+// Tracer collects a tree of wall-time spans. The zero value is not usable;
+// construct with NewTracer. A nil *Tracer is the detached fast path: it
+// hands out nil spans and records nothing.
+type Tracer struct {
+	epoch time.Time
+	ids   atomic.Int64
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTracer returns a Tracer whose epoch is now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is one in-flight span. Methods on a nil *Span are no-ops, so
+// instrumented code never branches on whether tracing is attached. A span
+// is owned by the goroutine that started it until End, which hands the
+// finished record to the tracer.
+type Span struct {
+	tracer *Tracer
+	rec    SpanRecord
+	ended  bool
+}
+
+// Start opens a root span. Returns nil (the no-op span) on a nil tracer.
+func (t *Tracer) Start(name, cat string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		rec: SpanRecord{
+			ID:    t.ids.Add(1),
+			Name:  name,
+			Cat:   cat,
+			Start: time.Since(t.epoch),
+		},
+	}
+}
+
+// Child opens a span nested under s, inheriting its track. Returns nil on
+// a nil receiver.
+func (s *Span) Child(name, cat string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.tracer.Start(name, cat)
+	c.rec.Parent = s.rec.ID
+	c.rec.Track = s.rec.Track
+	return c
+}
+
+// SetAttr attaches an attribute. Later sets with the same key append
+// rather than overwrite; keep keys unique per span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetTrack pins the span (and, by inheritance, its future children) to a
+// display lane.
+func (s *Span) SetTrack(track int) {
+	if s == nil {
+		return
+	}
+	s.rec.Track = track
+}
+
+// ID returns the span's trace-unique identifier (0 for a nil span).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.ID
+}
+
+// End closes the span and hands it to the tracer. End is idempotent;
+// spans never ended are simply absent from the trace.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.rec.Dur = time.Since(s.tracer.epoch) - s.rec.Start
+	s.tracer.mu.Lock()
+	s.tracer.spans = append(s.tracer.spans, s.rec)
+	s.tracer.mu.Unlock()
+}
+
+// Records snapshots the finished spans, sorted by start time (ties by ID,
+// which is allocation order). Safe to call while spans are still open;
+// open spans are not included.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sortRecords(out)
+	return out
+}
+
+// sortRecords orders spans by (Start, ID) — a deterministic pre-order for
+// export and aggregation.
+func sortRecords(rs []SpanRecord) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Start != rs[j].Start {
+			return rs[i].Start < rs[j].Start
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}

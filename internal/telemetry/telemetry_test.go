@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeRecords(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("run", "run")
+	layer := root.Child("conv1", "layer")
+	layer.SetTrack(1)
+	stage := layer.Child("compute", "stage")
+	stage.SetAttr("dataflow", "os")
+	stage.End()
+	layer.End()
+	root.End()
+
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Name != "run" || recs[0].Parent != 0 {
+		t.Fatalf("first record should be root 'run', got %+v", recs[0])
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["conv1"].Parent != byName["run"].ID {
+		t.Errorf("layer parent = %d, want root ID %d", byName["conv1"].Parent, byName["run"].ID)
+	}
+	if byName["compute"].Parent != byName["conv1"].ID {
+		t.Errorf("stage parent = %d, want layer ID %d", byName["compute"].Parent, byName["conv1"].ID)
+	}
+	if byName["compute"].Track != 1 {
+		t.Errorf("stage should inherit track 1, got %d", byName["compute"].Track)
+	}
+	if len(byName["compute"].Attrs) != 1 || byName["compute"].Attrs[0].Key != "dataflow" {
+		t.Errorf("stage attrs = %+v, want dataflow attr", byName["compute"].Attrs)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("x", "run")
+	s.End()
+	s.End()
+	if got := len(tr.Records()); got != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", got)
+	}
+}
+
+// The nil fast path must be allocation-free: detached instrumentation is
+// on every hot loop.
+func TestNilPathZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		s := tr.Start("run", "run")
+		c := s.Child("layer", "layer")
+		c.SetAttr("k", 1)
+		c.SetTrack(2)
+		c.End()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-path allocations = %v, want 0", allocs)
+	}
+	if tr.Records() != nil {
+		t.Fatalf("nil tracer Records() should be nil")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("run", "run")
+	layer := root.Child("conv1", "layer")
+	layer.SetAttr("cache", "miss")
+	time.Sleep(time.Millisecond)
+	layer.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s ph = %q, want X", ev.Name, ev.Ph)
+		}
+	}
+	layerEv := doc.TraceEvents[1]
+	if layerEv.Name != "conv1" || layerEv.Cat != "layer" {
+		t.Fatalf("second event = %+v, want layer conv1", layerEv)
+	}
+	if layerEv.Args["cache"] != "miss" {
+		t.Errorf("layer args = %v, want cache=miss", layerEv.Args)
+	}
+	if layerEv.Args["parentSpanId"] == nil {
+		t.Errorf("layer event missing parentSpanId")
+	}
+	if layerEv.Dur < 900 { // slept 1ms; ts/dur are microseconds
+		t.Errorf("layer dur = %v µs, want >= ~1000", layerEv.Dur)
+	}
+}
+
+func TestWriteChromeTraceNil(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Fatalf("nil trace output = %q", buf.String())
+	}
+}

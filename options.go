@@ -12,6 +12,9 @@ type options struct {
 	cache         *Cache
 	storeDir      string
 	storeBytes    int64
+	traceEnabled  bool
+	traceDir      string
+	traceName     string
 }
 
 func defaultOptions() options {
@@ -121,6 +124,29 @@ func WithCache(c *Cache) Option {
 // (the default).
 func WithStore(dir string) Option {
 	return func(o *options) { o.storeDir = dir }
+}
+
+// WithTrace enables span tracing for a run or sweep. Every run collects a
+// hierarchical span tree — run → layer → stage → memory-engine phase —
+// whose aggregation Result.Profile() reports; when dir is non-empty the
+// tree is additionally written there as Chrome trace-event JSON (one
+// <run>.trace.json per run, loadable at ui.perfetto.dev or
+// chrome://tracing). For a sweep each point writes its own file, named
+// after the point.
+//
+// Tracing costs a few span allocations per layer; the detached default is
+// a nil-receiver no-op on every hot path.
+func WithTrace(dir string) Option {
+	return func(o *options) {
+		o.traceEnabled = true
+		o.traceDir = dir
+	}
+}
+
+// withTraceName overrides the trace file's base name (sweeps label each
+// point's trace with the point name).
+func withTraceName(name string) Option {
+	return func(o *options) { o.traceName = name }
 }
 
 // WithSharedCache attaches the process-wide cache returned by SharedCache.

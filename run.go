@@ -3,10 +3,15 @@ package scalesim
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
+	"time"
 
 	"scalesim/internal/simcache"
+	"scalesim/internal/telemetry"
 )
 
 // Run simulates every layer of the topology and returns per-layer results
@@ -42,13 +47,78 @@ func (s *Simulator) Run(ctx context.Context, topo *Topology, opts ...Option) (*R
 	}
 	lc := newLayerCache(o.cache, &s.cfg, &o)
 	res := &Result{Config: s.cfg, Layers: make([]LayerResult, len(topo.Layers))}
-	if err := runLayers(ctx, &s.cfg, &o, topo, res.Layers, lc); err != nil {
+
+	// A nil tracer is the zero-overhead default: every span below no-ops.
+	var tracer *telemetry.Tracer
+	if o.traceEnabled {
+		tracer = telemetry.NewTracer()
+	}
+	start := time.Now()
+	root := tracer.Start("run", "run")
+	root.SetAttr("run", s.cfg.RunName)
+	root.SetAttr("dataflow", s.cfg.Dataflow.String())
+	root.SetAttr("array", fmt.Sprintf("%dx%d", s.cfg.ArrayRows, s.cfg.ArrayCols))
+	root.SetAttr("layers", len(topo.Layers))
+
+	err := runLayers(ctx, &s.cfg, &o, topo, res.Layers, lc, root)
+	root.End()
+	if err != nil {
 		return nil, err
 	}
 	if lc != nil {
 		res.CacheStats = lc.stats()
 	}
+	if tracer != nil {
+		res.wall = time.Since(start)
+		res.spans = tracer.Records()
+		if o.traceDir != "" {
+			if err := writeTraceFile(tracer, o.traceDir, traceBaseName(&o, &s.cfg)); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return res, nil
+}
+
+// traceBaseName picks the trace file's base name: the sweep point name when
+// set, else the run name, else "run".
+func traceBaseName(o *options, cfg *Config) string {
+	name := o.traceName
+	if name == "" {
+		name = cfg.RunName
+	}
+	if name == "" {
+		name = "run"
+	}
+	// File-system safety: point names are arbitrary user strings.
+	name = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, name)
+	return name
+}
+
+// writeTraceFile renders the tracer as Chrome trace-event JSON under dir.
+func writeTraceFile(tracer *telemetry.Tracer, dir, base string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("scalesim: trace dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, base+".trace.json"))
+	if err != nil {
+		return fmt.Errorf("scalesim: trace file: %w", err)
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("scalesim: write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("scalesim: write trace: %w", err)
+	}
+	return nil
 }
 
 // isCtxSentinel reports whether err is a bare context error — exactly what
@@ -65,7 +135,7 @@ func isCtxSentinel(err error) bool {
 // layers that actually ran is reported (layers past the first failure may
 // never start, so under parallelism the surfaced error can differ between
 // runs when several layers fail).
-func runLayers(ctx context.Context, cfg *Config, o *options, topo *Topology, out []LayerResult, lc *layerCache) error {
+func runLayers(ctx context.Context, cfg *Config, o *options, topo *Topology, out []LayerResult, lc *layerCache, root *telemetry.Span) error {
 	n := len(topo.Layers)
 	if n == 0 {
 		return ctx.Err()
@@ -83,7 +153,7 @@ func runLayers(ctx context.Context, cfg *Config, o *options, topo *Topology, out
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			lr, err := runLayer(ctx, cfg, o, &topo.Layers[i], lc)
+			lr, err := runLayer(ctx, cfg, o, &topo.Layers[i], lc, layerSpan(root, topo, i))
 			if err == nil {
 				out[i] = *lr
 			}
@@ -113,7 +183,7 @@ func runLayers(ctx context.Context, cfg *Config, o *options, topo *Topology, out
 		if runCtx.Err() != nil {
 			return
 		}
-		lr, err := runLayer(runCtx, cfg, o, &topo.Layers[i], lc)
+		lr, err := runLayer(runCtx, cfg, o, &topo.Layers[i], lc, layerSpan(root, topo, i))
 		mu.Lock()
 		if err != nil {
 			errs[i] = err
@@ -173,10 +243,20 @@ func layerError(l *Layer, err error) error {
 	return fmt.Errorf("scalesim: layer %q: %w", l.Name, err)
 }
 
+// layerSpan opens the span for topo.Layers[i], pinned to its own display
+// track so parallel layers render as parallel lanes. Nil when detached.
+func layerSpan(root *telemetry.Span, topo *Topology, i int) *telemetry.Span {
+	ls := root.Child(topo.Layers[i].Name, "layer")
+	ls.SetTrack(i + 1)
+	ls.SetAttr("index", i)
+	return ls
+}
+
 // runLayer pushes one layer through the stage pipeline, consulting the
 // layer cache (when enabled) before doing any work and populating it
 // after.
-func runLayer(ctx context.Context, cfg *Config, o *options, l *Layer, lc *layerCache) (*LayerResult, error) {
+func runLayer(ctx context.Context, cfg *Config, o *options, l *Layer, lc *layerCache, span *telemetry.Span) (*LayerResult, error) {
+	defer span.End()
 	var ckey simcache.Key
 	if lc != nil {
 		ckey = lc.key(l)
@@ -188,8 +268,10 @@ func runLayer(ctx context.Context, cfg *Config, o *options, l *Layer, lc *layerC
 			return nil, err
 		}
 		if hit != nil {
+			span.SetAttr("cache", "hit")
 			return hit, nil
 		}
+		span.SetAttr("cache", "miss")
 		// We hold the single-flight slot for this shape: simulate, then
 		// release it (after put on success, so coalesced workers hit).
 		defer lc.done(ckey)
@@ -218,7 +300,10 @@ func runLayer(ctx context.Context, cfg *Config, o *options, l *Layer, lc *layerC
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := st.Apply(ctx, sc, lr); err != nil {
+		sc.Span = span.Child(st.Name(), "stage")
+		err := st.Apply(ctx, sc, lr)
+		sc.Span.End()
+		if err != nil {
 			return nil, fmt.Errorf("%s stage: %w", st.Name(), err)
 		}
 	}

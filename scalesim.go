@@ -70,11 +70,13 @@ package scalesim
 
 import (
 	"context"
+	"time"
 
 	"scalesim/internal/config"
 	"scalesim/internal/energy"
 	"scalesim/internal/multicore"
 	"scalesim/internal/report"
+	"scalesim/internal/telemetry"
 	"scalesim/internal/topology"
 )
 
@@ -184,6 +186,11 @@ type Result struct {
 	// zero unless a cache was attached (WithCache, WithSharedCache) and
 	// the stage pipeline was fingerprintable (see StageFingerprinter).
 	CacheStats RunCacheStats
+
+	// spans and wall hold the telemetry captured when the run traced
+	// (WithTrace); Profile aggregates them.
+	spans []telemetry.SpanRecord
+	wall  time.Duration
 }
 
 // Summary aggregates the run: raw cycle/energy totals plus the derived

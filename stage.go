@@ -13,6 +13,7 @@ import (
 	"scalesim/internal/sparse"
 	"scalesim/internal/sram"
 	"scalesim/internal/systolic"
+	"scalesim/internal/telemetry"
 )
 
 // StageContext carries the per-layer state shared by the pipeline stages.
@@ -36,6 +37,10 @@ type StageContext struct {
 	// FilterRatio is the filter density in (0, 1]; 1 for dense layers.
 	// Set by the compute stage.
 	FilterRatio float64
+	// Span is the stage's telemetry span — nil (a safe no-op) unless the
+	// run traced (WithTrace). Stages may attach attributes and open child
+	// "phase" spans for their internal steps.
+	Span *telemetry.Span
 
 	// pattern is the sparse compression pattern, nil for dense layers.
 	pattern *sparse.Pattern
@@ -115,6 +120,7 @@ func (computeStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) 
 	case cfg.Sparsity.Enabled && (!l.Sparsity.Dense() || cfg.Sparsity.OptimizedMapping):
 		// The paper fixes the weight-stationary dataflow for sparse runs.
 		sc.Dataflow = config.WeightStationary
+		sc.Span.SetAttr("path", "sparse")
 		est, p, err := sparse.EstimateLayer(r, c, l, &cfg.Sparsity)
 		if err != nil {
 			return err
@@ -138,6 +144,7 @@ func (computeStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) 
 		}
 		lr.Sparse = &row
 	case cfg.MultiCore.Enabled:
+		sc.Span.SetAttr("path", "multicore")
 		mp := systolic.MappingFor(sc.Dataflow, m, n, k)
 		part, cycles, err := multiCoreCycles(cfg, mp)
 		if err != nil {
@@ -155,11 +162,14 @@ func (computeStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) 
 		}
 		lr.MappingEff = lr.Utilization
 	default:
+		sc.Span.SetAttr("path", "dense")
 		est := systolic.Estimate(sc.Dataflow, r, c, m, n, k)
 		lr.ComputeCycles = est.ComputeCycles
 		lr.Utilization = est.Utilization
 		lr.MappingEff = est.MappingEfficiency
 	}
+	sc.Span.SetAttr("dataflow", sc.Dataflow.String())
+	sc.Span.SetAttr("compute_cycles", lr.ComputeCycles)
 	lr.TotalCycles = lr.ComputeCycles
 	return nil
 }
@@ -227,9 +237,11 @@ func (layoutStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) e
 		}
 		key = h.Sum()
 		if v, ok := sc.cache.Get(key); ok {
+			sc.Span.SetAttr("memo", "hit")
 			applyLayoutSlowdown(lr, v.(float64))
 			return nil
 		}
+		sc.Span.SetAttr("memo", "miss")
 	}
 	slow, err := layoutSlowdown(sc)
 	if err != nil {
@@ -281,10 +293,14 @@ func layoutSlowdown(sc *StageContext) (float64, error) {
 	}
 	g := systolic.Gemm{M: sc.M, N: sc.N, K: sc.K}
 	if sc.pattern != nil {
+		// Fidelity attribute: irregular layers pay for the per-cycle
+		// replay; dense layers take the proven closed form.
+		sc.Span.SetAttr("fidelity", "replay")
 		if err := layoutReplay(sc.Dataflow, sc.Rows, sc.Cols, g, ifa, fla, ofa); err != nil {
 			return 0, err
 		}
 	} else {
+		sc.Span.SetAttr("fidelity", "closed-form")
 		fs, err := systolic.NewFoldSchedule(sc.Dataflow, sc.Rows, sc.Cols, g)
 		if err != nil {
 			return 0, err
@@ -341,21 +357,25 @@ func (memoryStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) e
 	sys, err := dram.New(tech, dram.Options{
 		Channels:   cfg.Memory.Channels,
 		QueueDepth: qd,
+		Trace:      sc.Span,
 	})
 	if err != nil {
 		return err
 	}
 	df, m, n, k := sc.Dataflow, sc.M, sc.N, sc.K
 	ifW, flW, ofW := cfg.SRAMWords()
+	build := sc.Span.Child("schedule.build", "phase")
 	sched, err := sram.BuildSchedule(df, sc.Rows, sc.Cols, systolic.Gemm{M: m, N: n, K: k}, sram.ScheduleOptions{
 		FilterRatio:     sc.FilterRatio,
 		IfmapSRAMWords:  ifW,
 		FilterSRAMWords: flW,
 		OfmapSRAMWords:  ofW,
 	})
+	build.End()
 	if err != nil {
 		return err
 	}
+	sc.Span.SetAttr("folds", len(sched.Folds))
 	maxReq := cfg.BandwidthWords * cfg.WordBytes / 64
 	if maxReq < 1 {
 		maxReq = 1
@@ -364,10 +384,13 @@ func (memoryStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) e
 		WordBytes:           cfg.WordBytes,
 		MaxRequestsPerCycle: maxReq,
 		StreamWindowWords:   ifW / 2,
+		Trace:               sc.Span,
 	})
 	if err != nil {
 		return err
 	}
+	sc.Span.SetAttr("skipped_cycles", mres.SkippedCycles)
+	sc.Span.SetAttr("stall_cycles", mres.StallCycles)
 	// Memory stalls replace the closed-form total for this layer.
 	lr.StallCycles += mres.StallCycles
 	lr.TotalCycles = lr.ComputeCycles + lr.StallCycles
@@ -439,6 +462,7 @@ func (energyStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) e
 	if err != nil {
 		return err
 	}
+	sc.Span.SetAttr("total_pj", rep.TotalPJ)
 	lr.Energy = rep
 	return nil
 }

@@ -99,6 +99,10 @@ func Sweep(ctx context.Context, points []SweepPoint, opts ...Option) ([]SweepRes
 // tagged with the point name.
 func runSweepPoint(ctx context.Context, o *options, mu *sync.Mutex, p *SweepPoint) (*Result, error) {
 	runOpts := []Option{WithParallelism(1), WithERT(o.ert), WithStages(o.stages...), WithCache(o.cache)}
+	if o.traceEnabled {
+		// Each point collects its own trace, filed under the point name.
+		runOpts = append(runOpts, WithTrace(o.traceDir), withTraceName(p.Name))
+	}
 	if o.progress != nil {
 		name, fn := p.Name, o.progress
 		runOpts = append(runOpts, WithProgress(func(lp LayerProgress) {
