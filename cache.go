@@ -43,6 +43,10 @@ type Cache struct {
 	storeMu  sync.Mutex
 	store    *diskstore.Store
 	storeDir string
+	// storeDegraded is set when the degradation ladder detached a dying
+	// store mid-serve (see Cache.degradeStore); readable without storeMu so
+	// metrics can poll it from the serve loop.
+	storeDegraded atomic.Bool
 }
 
 // NewCache returns an empty cache bounded to at most maxEntries cached

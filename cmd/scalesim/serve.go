@@ -11,12 +11,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"scalesim"
 	"scalesim/internal/coordinator"
+	"scalesim/internal/diskstore"
+	"scalesim/internal/faultinject"
 	"scalesim/internal/server"
 )
 
@@ -52,6 +55,9 @@ func runServe(args []string) error {
 		storeMB      = fs.Int("store-mb", 0, "store log capacity in MiB before GC (0 = default 1024)")
 		coordMode    = fs.Bool("coordinator", false, "dispatch jobs to -workers instead of simulating in-process")
 		workerList   = fs.String("workers", "", "comma-separated worker base URLs (required with -coordinator)")
+		jobTimeout   = fs.Duration("job-timeout", 0, "default per-job execution deadline; jobs exceeding it fail (0 = none; requests may override via timeout_s)")
+		maxQueueWait = fs.Duration("max-queue-wait", 0, "reject enqueues with 503 + Retry-After when the estimated queue wait exceeds this (0 = off)")
+		faultSpec    = fs.String("faults", "", "deterministic fault-injection plan, e.g. \"seed=42,disk.error=0.05,net.reset=0.1,job.crash=0.02\" (empty = off)")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this extra loopback listener (e.g. 127.0.0.1:6060); empty = off")
 		logLevel     = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat    = fs.String("log-format", "text", "log encoding: text or json")
@@ -65,13 +71,27 @@ func runServe(args []string) error {
 		return err
 	}
 
+	plan, err := faultinject.Parse(*faultSpec)
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		logger.Warn("fault injection active", "plan", plan.String())
+	}
+
 	opts := server.Options{
-		Shards:      *shards,
-		QueueDepth:  *queueDepth,
-		Parallelism: *parallelism,
-		MaxJobs:     *maxJobs,
-		Cache:       scalesim.NewCache(*cacheEntries, int64(*cacheMB)<<20),
-		Logger:      logger,
+		Shards:       *shards,
+		QueueDepth:   *queueDepth,
+		Parallelism:  *parallelism,
+		MaxJobs:      *maxJobs,
+		Cache:        scalesim.NewCache(*cacheEntries, int64(*cacheMB)<<20),
+		Logger:       logger,
+		JobTimeout:   *jobTimeout,
+		MaxQueueWait: *maxQueueWait,
+		JobHook:      plan.JobHook(),
+	}
+	if plan != nil {
+		opts.FaultCounts = plan.Counts
 	}
 	var coord *coordinator.Coordinator
 	if *coordMode {
@@ -83,10 +103,12 @@ func runServe(args []string) error {
 		}
 		var err error
 		coord, err = coordinator.New(coordinator.Options{
-			Workers:    workers,
-			StoreDir:   *storeDir,
-			StoreBytes: int64(*storeMB) << 20,
-			Logger:     logger,
+			Workers:       workers,
+			StoreDir:      *storeDir,
+			StoreBytes:    int64(*storeMB) << 20,
+			Logger:        logger,
+			WrapTransport: plan.RoundTripper,
+			StoreFS:       plan.FS(nil),
 		})
 		if err != nil {
 			return err
@@ -94,10 +116,24 @@ func runServe(args []string) error {
 		defer coord.Close() //nolint:errcheck // drained below; this covers early error returns
 		opts.Executor = coord
 	} else if *storeDir != "" {
-		if err := opts.Cache.AttachStore(*storeDir, int64(*storeMB)<<20); err != nil {
+		if err := opts.Cache.AttachStoreFS(*storeDir, int64(*storeMB)<<20, plan.FS(nil)); err != nil {
 			return err
 		}
 		defer opts.Cache.CloseStore() //nolint:errcheck
+		// The job journal lives next to the store: -store is the operator's
+		// "this worker has durable state" switch, and restart recovery needs
+		// both halves (journaled specs, persisted layer results) anyway.
+		journal, records, err := diskstore.OpenJournal(
+			filepath.Join(*storeDir, "jobs.journal"), plan.FS(nil))
+		if err != nil {
+			return err
+		}
+		defer journal.Close() //nolint:errcheck
+		opts.Journal = journal
+		opts.JournalRecords = records
+		if _, recovered, damaged, _ := journal.Stats(); recovered > 0 || damaged > 0 {
+			logger.Info("job journal recovered", "records", recovered, "damaged", damaged)
+		}
 	}
 
 	srv := server.New(opts)

@@ -27,7 +27,9 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +64,23 @@ type Options struct {
 	// Default: number of workers + 1, so a job survives one worker dying
 	// even in a single-worker fleet.
 	MaxAttempts int
+	// RequestTimeout bounds each individual HTTP exchange with a worker
+	// (enqueue, one status poll, reports fetch) via a per-request context
+	// deadline. Default 10s. This deliberately does NOT bound a whole
+	// dispatch attempt: a long-running job is bounded by its own job
+	// deadline on the worker, while every coordinator/worker round trip
+	// stays individually short.
+	RequestTimeout time.Duration
+	// DialTimeout bounds establishing a TCP connection to a worker.
+	// Default 5s.
+	DialTimeout time.Duration
+	// WrapTransport, when set, wraps the coordinator's HTTP transport —
+	// the fault-injection seam. It is applied on top of the transport
+	// that already carries the dial and response-header timeouts.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
+	// StoreFS overrides the payload store's filesystem (fault injection);
+	// nil uses the real OS filesystem.
+	StoreFS diskstore.FS
 	// Logger receives the coordinator's structured logs: dispatches and
 	// retries (with the triggering error and target worker) at Info/Warn,
 	// worker health transitions at Info. Every dispatch line carries the
@@ -102,6 +121,7 @@ type Coordinator struct {
 
 	dispatches  atomic.Int64
 	retries     atomic.Int64
+	resubmits   atomic.Int64
 	storeHits   atomic.Int64
 	storeMisses atomic.Int64
 
@@ -127,13 +147,36 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = len(opts.Workers) + 1
 	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 10 * time.Second
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
 	log := opts.Logger
 	if log == nil {
 		log = slog.New(slog.DiscardHandler)
 	}
+	// No http.Client.Timeout: that would bound the whole exchange including
+	// the body read with one global number. Instead each request carries a
+	// context deadline (RequestTimeout) and the transport bounds the two
+	// hang-prone phases — dialing and waiting for response headers.
+	transport := &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   opts.DialTimeout,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ResponseHeaderTimeout: opts.RequestTimeout,
+		MaxIdleConnsPerHost:   16,
+		IdleConnTimeout:       90 * time.Second,
+	}
+	var rt http.RoundTripper = transport
+	if opts.WrapTransport != nil {
+		rt = opts.WrapTransport(rt)
+	}
 	c := &Coordinator{
 		opts:   opts,
-		client: &http.Client{Timeout: 30 * time.Second},
+		client: &http.Client{Transport: rt},
 		log:    log,
 		flight: make(map[simcache.Key]*flightCall),
 		mem:    make(map[simcache.Key][]byte),
@@ -144,7 +187,7 @@ func New(opts Options) (*Coordinator, error) {
 		c.workers = append(c.workers, w)
 	}
 	if opts.StoreDir != "" {
-		s, err := diskstore.Open(opts.StoreDir, diskstore.Options{MaxBytes: opts.StoreBytes})
+		s, err := diskstore.Open(opts.StoreDir, diskstore.Options{MaxBytes: opts.StoreBytes, FS: opts.StoreFS})
 		if err != nil {
 			return nil, err
 		}
@@ -190,9 +233,10 @@ func kindPath(kind string) (string, error) {
 
 // Fingerprint derives the content-addressed payload key for a validated
 // request body: the kind plus the body canonicalized — JSON re-marshaled
-// with sorted keys — minus the top-level parallelism knob, which changes
-// scheduling but never results. Requests that differ only in formatting,
-// field order or parallelism therefore share one store entry.
+// with sorted keys — minus the top-level parallelism and timeout_s knobs,
+// which change scheduling and patience but never results. Requests that
+// differ only in formatting, field order or those knobs therefore share
+// one store entry.
 func Fingerprint(kind string, body []byte) (simcache.Key, error) {
 	var v any
 	if err := json.Unmarshal(body, &v); err != nil {
@@ -200,6 +244,7 @@ func Fingerprint(kind string, body []byte) (simcache.Key, error) {
 	}
 	if m, ok := v.(map[string]any); ok {
 		delete(m, "parallelism")
+		delete(m, "timeout_s")
 	}
 	canon, err := json.Marshal(v) // map keys marshal in sorted order
 	if err != nil {
@@ -296,6 +341,31 @@ type errNonRetryable struct{ err error }
 func (e errNonRetryable) Error() string { return e.err.Error() }
 func (e errNonRetryable) Unwrap() error { return e.err }
 
+// errRetryAfter wraps a retryable refusal that carried an explicit
+// Retry-After hint; dispatch waits at least that long before the next
+// attempt instead of trusting its own backoff guess.
+type errRetryAfter struct {
+	err   error
+	after time.Duration
+}
+
+func (e errRetryAfter) Error() string { return e.err.Error() }
+func (e errRetryAfter) Unwrap() error { return e.err }
+
+// parseRetryAfter reads an integer-seconds Retry-After header (the only
+// form scalesim workers emit); 0 means absent or unparseable.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // dispatch runs the job on a worker, retrying with exponential backoff on
 // another worker when the attempt fails retryably (worker unreachable,
 // admission rejected, worker died mid-job).
@@ -306,6 +376,12 @@ func (c *Coordinator) dispatch(ctx context.Context, kind string, body []byte) ([
 		if attempt > 0 {
 			c.retries.Add(1)
 			backoff := c.opts.RetryBackoff << (attempt - 1)
+			// An explicit Retry-After from the refusing worker outranks our
+			// backoff guess when it asks for more patience.
+			var ra errRetryAfter
+			if errors.As(lastErr, &ra) && ra.after > backoff {
+				backoff = ra.after
+			}
 			c.log.Warn("retrying dispatch", "job_id", jobID, "kind", kind,
 				"attempt", attempt+1, "backoff", backoff, "error", lastErr)
 			select {
@@ -355,7 +431,7 @@ func (c *Coordinator) runOn(ctx context.Context, w *worker, kind string, body []
 	}
 	c.dispatches.Add(1)
 	var accepted jobDTO
-	status, err := c.doJSON(ctx, http.MethodPost, w.url+path, body, &accepted)
+	status, hdr, err := c.doJSON(ctx, http.MethodPost, w.url+path, body, &accepted)
 	if err != nil {
 		return nil, scalesim.RunCacheStats{}, err // transport: retryable
 	}
@@ -367,8 +443,13 @@ func (c *Coordinator) runOn(ctx context.Context, w *worker, kind string, body []
 		return nil, scalesim.RunCacheStats{},
 			errNonRetryable{fmt.Errorf("worker rejected job with status %d", status)}
 	default:
-		// 503 queue-full/draining and other 5xx: try another worker.
-		return nil, scalesim.RunCacheStats{}, fmt.Errorf("worker refused job with status %d", status)
+		// 503 queue-full/draining and other 5xx: try another worker,
+		// honoring the worker's Retry-After when it sent one.
+		refused := fmt.Errorf("worker refused job with status %d", status)
+		if after := parseRetryAfter(hdr); after > 0 {
+			return nil, scalesim.RunCacheStats{}, errRetryAfter{err: refused, after: after}
+		}
+		return nil, scalesim.RunCacheStats{}, refused
 	}
 
 	dto, err := c.pollJob(ctx, w, accepted.ID)
@@ -396,8 +477,12 @@ func (c *Coordinator) runOn(ctx context.Context, w *worker, kind string, body []
 const pollFailureBudget = 5
 
 // pollJob polls the job until a terminal state. Transient poll failures
-// are tolerated up to pollFailureBudget in a row. On ctx cancellation the
-// job is best-effort canceled on the worker.
+// are tolerated up to pollFailureBudget in a row; a 404 means the worker
+// restarted (a restarted worker resumes journaled jobs under fresh IDs, so
+// the ID this coordinator holds no longer exists there) and fails the
+// attempt immediately so dispatch resubmits without burning the failure
+// budget. On ctx cancellation the job is best-effort canceled on the
+// worker.
 func (c *Coordinator) pollJob(ctx context.Context, w *worker, id string) (jobDTO, error) {
 	failures := 0
 	for {
@@ -408,7 +493,12 @@ func (c *Coordinator) pollJob(ctx context.Context, w *worker, id string) (jobDTO
 		case <-time.After(c.opts.PollInterval):
 		}
 		var dto jobDTO
-		status, err := c.doJSON(ctx, http.MethodGet, w.url+"/v1/jobs/"+id, nil, &dto)
+		status, _, err := c.doJSON(ctx, http.MethodGet, w.url+"/v1/jobs/"+id, nil, &dto)
+		if err == nil && status == http.StatusNotFound {
+			c.resubmits.Add(1)
+			c.log.Warn("worker restarted mid-job; resubmitting", "worker", w.url, "job_id", id)
+			return jobDTO{}, fmt.Errorf("worker restarted: job %s unknown", id)
+		}
 		if err != nil || status != http.StatusOK {
 			failures++
 			if failures >= pollFailureBudget {
@@ -432,7 +522,9 @@ func jobStateTerminal(state string) bool {
 
 // fetchReports retrieves a done job's payload bytes verbatim.
 func (c *Coordinator) fetchReports(ctx context.Context, w *worker, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/jobs/"+id+"/reports", nil)
+	rctx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, w.url+"/v1/jobs/"+id+"/reports", nil)
 	if err != nil {
 		return nil, errNonRetryable{err}
 	}
@@ -477,35 +569,39 @@ type jobDTO struct {
 	} `json:"cache_stats"`
 }
 
-// doJSON issues a request and decodes the JSON response into out (skipped
-// on decode failure for non-2xx, where the body is an error payload).
-func (c *Coordinator) doJSON(ctx context.Context, method, url string, body []byte, out any) (int, error) {
+// doJSON issues one request under its own RequestTimeout deadline and
+// decodes the JSON response into out (skipped on decode failure for
+// non-2xx, where the body is an error payload). The response headers come
+// back alongside the status so callers can read back-pressure hints.
+func (c *Coordinator) doJSON(ctx context.Context, method, url string, body []byte, out any) (int, http.Header, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	req, err := http.NewRequestWithContext(rctx, method, url, rd)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, err
+		return 0, resp.Header, err
 	}
 	if resp.StatusCode < 300 && out != nil {
 		if err := json.Unmarshal(raw, out); err != nil {
-			return resp.StatusCode, fmt.Errorf("decoding %s %s response: %w", method, url, err)
+			return resp.StatusCode, resp.Header, fmt.Errorf("decoding %s %s response: %w", method, url, err)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header, nil
 }
 
 // healthLoop probes every worker's /healthz on a fixed period, flipping
@@ -566,6 +662,8 @@ func (c *Coordinator) RegisterMetrics(reg *telemetry.Registry) {
 		"Job dispatch attempts sent to workers.", &c.dispatches)
 	counter("scalesim_coordinator_retries_total",
 		"Dispatch attempts beyond each job's first.", &c.retries)
+	counter("scalesim_coordinator_resubmits_total",
+		"Jobs resubmitted after their worker restarted mid-flight.", &c.resubmits)
 	counter("scalesim_coordinator_store_hits_total",
 		"Jobs answered from the payload store.", &c.storeHits)
 	counter("scalesim_coordinator_store_misses_total",

@@ -1,0 +1,151 @@
+package coordinator
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scalesim/internal/faultinject"
+)
+
+// roundTripFunc adapts a function to http.RoundTripper for scripted
+// per-request interception in tests.
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+// synthesized builds a client-side response the way the fault injector
+// does, without touching any backend.
+func synthesized(req *http.Request, status int, header http.Header, body string) *http.Response {
+	if header == nil {
+		header = http.Header{}
+	}
+	return &http.Response{
+		Status:        http.StatusText(status),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        header,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// TestCoordinatorHonorsRetryAfter: a worker that sheds load with 503 and
+// Retry-After: 1 must not be hammered at the 5ms retry backoff — the
+// coordinator waits out the advertised interval before re-dispatching.
+func TestCoordinatorHonorsRetryAfter(t *testing.T) {
+	worker := newWorker(t)
+	var mu sync.Mutex
+	var posts []time.Time
+	wrap := func(base http.RoundTripper) http.RoundTripper {
+		return roundTripFunc(func(req *http.Request) (*http.Response, error) {
+			if req.Method == http.MethodPost && strings.HasSuffix(req.URL.Path, "/v1/runs") {
+				mu.Lock()
+				posts = append(posts, time.Now())
+				first := len(posts) == 1
+				mu.Unlock()
+				if first {
+					return synthesized(req, http.StatusServiceUnavailable,
+						http.Header{"Retry-After": []string{"1"}}, "busy\n"), nil
+				}
+			}
+			return base.RoundTrip(req)
+		})
+	}
+	_, base := newCoordinator(t, Options{Workers: []string{worker}, WrapTransport: wrap})
+
+	dto, payload := runJob(t, base, runBody)
+	if dto.State != "done" || len(payload) == 0 {
+		t.Fatalf("job settled as %s (%s), want done", dto.State, dto.Error)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(posts) < 2 {
+		t.Fatalf("worker saw %d dispatch POSTs, want a retry after the 503", len(posts))
+	}
+	if gap := posts[1].Sub(posts[0]); gap < 900*time.Millisecond {
+		t.Fatalf("re-dispatch came %v after the 503, want >= ~1s from Retry-After", gap)
+	}
+}
+
+// TestCoordinatorResubmitsAfterWorkerRestart: a poll answered 404 means
+// the worker restarted and lost the job; the coordinator must count the
+// loss and resubmit rather than poll forever.
+func TestCoordinatorResubmitsAfterWorkerRestart(t *testing.T) {
+	worker := newWorker(t)
+	var mu sync.Mutex
+	dropped := false
+	wrap := func(base http.RoundTripper) http.RoundTripper {
+		return roundTripFunc(func(req *http.Request) (*http.Response, error) {
+			// 404 exactly one status poll (not the reports fetch): the job
+			// the worker accepted is now "forgotten".
+			if req.Method == http.MethodGet &&
+				strings.Contains(req.URL.Path, "/v1/jobs/") &&
+				!strings.HasSuffix(req.URL.Path, "/reports") {
+				mu.Lock()
+				first := !dropped
+				dropped = true
+				mu.Unlock()
+				if first {
+					return synthesized(req, http.StatusNotFound, nil, "{}"), nil
+				}
+			}
+			return base.RoundTrip(req)
+		})
+	}
+	c, base := newCoordinator(t, Options{Workers: []string{worker}, WrapTransport: wrap})
+
+	dto, payload := runJob(t, base, runBody)
+	if dto.State != "done" || len(payload) == 0 {
+		t.Fatalf("job settled as %s (%s), want done after resubmit", dto.State, dto.Error)
+	}
+	if got := c.resubmits.Load(); got != 1 {
+		t.Errorf("resubmits = %d, want 1", got)
+	}
+}
+
+// TestCoordinatorByteIdenticalUnderNetworkChaos is the network half of the
+// chaos harness: with seeded resets, truncated bodies and 503 bursts on
+// the coordinator-worker path, every job must still complete with a
+// payload byte-identical to a fault-free run — retries mask faults, they
+// never corrupt results.
+func TestCoordinatorByteIdenticalUnderNetworkChaos(t *testing.T) {
+	// Fault-free reference.
+	_, refBase := newCoordinator(t, Options{Workers: []string{newWorker(t)}})
+	refDTO, want := runJob(t, refBase, runBody)
+	if refDTO.State != "done" {
+		t.Fatalf("reference job settled as %s", refDTO.State)
+	}
+
+	plan := faultinject.New(faultinject.Config{
+		Seed: 42, NetReset: 0.15, NetTruncate: 0.15, Net5xx: 0.15,
+	})
+	_, base := newCoordinator(t, Options{
+		Workers:       []string{newWorker(t)},
+		WrapTransport: plan.RoundTripper,
+		MaxAttempts:   10,
+	})
+
+	const jobs = 4
+	for i := 0; i < jobs; i++ {
+		dto, payload := runJob(t, base, runBody)
+		if dto.State != "done" {
+			t.Fatalf("chaos job %d settled as %s (%s); plan %q", i, dto.State, dto.Error, plan.String())
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("chaos job %d payload differs from fault-free reference; plan %q", i, plan.String())
+		}
+	}
+	counts := plan.Counts()
+	if len(counts) == 0 {
+		t.Error("chaos run injected no faults; the plan exercised nothing")
+	}
+	t.Logf("network chaos: %d jobs byte-identical under injected faults %v", jobs, counts)
+}

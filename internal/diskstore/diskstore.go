@@ -85,6 +85,9 @@ type Options struct {
 	// ReadOnly opens the store for inspection (stats, verify): no lock
 	// upgrade, no tail truncation, and Put/GC/SaveSnapshot fail.
 	ReadOnly bool
+	// FS is the filesystem the store operates through. Nil selects OSFS;
+	// tests and the fault-injection harness substitute their own.
+	FS FS
 }
 
 // Stats is a point-in-time snapshot of store contents and effectiveness.
@@ -109,6 +112,11 @@ type Stats struct {
 	// when none exists; SnapshotUnix is when it was written (Unix seconds).
 	SnapshotUpTo int64
 	SnapshotUnix int64
+	// IOErrors counts internal read/write failures since Open — payload
+	// reads that errored, appends and snapshots that failed. The degradation
+	// ladder (see scalesim.Cache.AttachStore) watches this to decide when a
+	// dying disk should be detached rather than retried forever.
+	IOErrors int64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -129,7 +137,8 @@ type indexEntry struct {
 type Store struct {
 	mu       sync.Mutex
 	dir      string
-	log      *os.File
+	fs       FS
+	log      File
 	lock     *os.File
 	logSize  int64
 	index    map[Key]indexEntry
@@ -145,7 +154,8 @@ type Store struct {
 	gcRuns, gcDropped  int64
 	snapUpTo           int64
 	snapUnix           int64
-	sinceSnap          int // appends since the last snapshot
+	sinceSnap          int   // appends since the last snapshot
+	ioErrors           int64 // internal read/write failures since Open
 }
 
 // Open opens (creating if needed) the store rooted at dir, recovering the
@@ -156,7 +166,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.MaxBytes <= 0 {
 		opts.MaxBytes = DefaultMaxBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
 	lock, err := acquireLock(filepath.Join(dir, lockName), opts.ReadOnly)
@@ -167,13 +181,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.ReadOnly {
 		flags = os.O_RDONLY | os.O_CREATE
 	}
-	logf, err := os.OpenFile(filepath.Join(dir, logName), flags, perm)
+	logf, err := fs.OpenFile(filepath.Join(dir, logName), flags, perm)
 	if err != nil {
 		releaseLock(lock)
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
 	s := &Store{
 		dir:      dir,
+		fs:       fs,
 		log:      logf,
 		lock:     lock,
 		index:    make(map[Key]indexEntry),
@@ -216,7 +231,7 @@ func (s *Store) recover() error {
 // loadSnapshot seeds the index from index.snap and returns the log offset
 // replay should start at (0 when the snapshot is absent or unusable).
 func (s *Store) loadSnapshot(logSize int64) int64 {
-	b, err := os.ReadFile(filepath.Join(s.dir, snapName))
+	b, err := s.fs.ReadFile(filepath.Join(s.dir, snapName))
 	if err != nil || len(b) < len(snapMagic)+8+8+4 || string(b[:len(snapMagic)]) != snapMagic {
 		return 0
 	}
@@ -258,7 +273,7 @@ func (s *Store) loadSnapshot(logSize int64) int64 {
 	}
 	s.recovered += len(all)
 	s.snapUpTo = upTo
-	if fi, err := os.Stat(filepath.Join(s.dir, snapName)); err == nil {
+	if fi, err := s.fs.Stat(filepath.Join(s.dir, snapName)); err == nil {
 		s.snapUnix = fi.ModTime().Unix()
 	}
 	return upTo
@@ -269,45 +284,18 @@ func (s *Store) loadSnapshot(logSize int64) int64 {
 // is structurally sound; bytes past it (torn tail or corrupt framing) are
 // the caller's to truncate.
 func (s *Store) replay(from, size int64) (int64, error) {
-	off := from
-	hdr := make([]byte, headerSize)
-	for off+headerSize <= size {
-		if _, err := s.log.ReadAt(hdr, off); err != nil {
-			return 0, fmt.Errorf("diskstore: reading log at %d: %w", off, err)
-		}
-		if string(hdr[:4]) != entryMagic ||
-			crc32.Checksum(hdr[:headerSize-4], crcTable) != binary.LittleEndian.Uint32(hdr[headerSize-4:]) {
-			// Framing can't be trusted past a bad header: stop here. A
-			// crash that tore the header mid-write lands in this case too.
-			s.skipped++
-			return off, nil
-		}
-		payloadLen := int64(binary.LittleEndian.Uint32(hdr[36:40]))
-		if off+headerSize+payloadLen > size {
-			// Torn tail: header landed, payload did not.
-			s.skipped++
-			return off, nil
-		}
-		payload := make([]byte, payloadLen)
-		if _, err := s.log.ReadAt(payload, off+headerSize); err != nil {
-			return 0, fmt.Errorf("diskstore: reading log at %d: %w", off+headerSize, err)
-		}
-		var k Key
-		copy(k[:], hdr[4:36])
-		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[40:44]) {
-			// Damaged payload inside intact framing: drop just this entry.
-			s.skipped++
-		} else {
-			s.setLive(k, indexEntry{off: off + headerSize, len: int32(payloadLen)})
+	sound, damaged, err := scanEntries(s.log, from, size, func(r scanResult) {
+		if r.valid {
+			s.setLive(r.key, indexEntry{off: r.off, len: int32(len(r.payload))})
 			s.recovered++
 		}
-		off += headerSize + payloadLen
+	})
+	if err != nil {
+		s.ioErrors++
+		return 0, fmt.Errorf("diskstore: replaying log: %w", err)
 	}
-	if off < size {
-		// Shorter than one header: torn tail.
-		s.skipped++
-	}
-	return off, nil
+	s.skipped += damaged
+	return sound, nil
 }
 
 // setLive indexes k, keeping the append order list deduplicated.
@@ -319,7 +307,10 @@ func (s *Store) setLive(k Key, e indexEntry) {
 }
 
 // Get returns the payload stored under k. Read failures count as misses:
-// the store is a cache tier, not a system of record.
+// the store is a cache tier, not a system of record. The entry's framing
+// header is re-read and the payload checksum verified on every hit, so
+// bit rot that crept in after the entry was indexed surfaces as a miss
+// here instead of corrupt bytes reaching the caller.
 func (s *Store) Get(k Key) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -328,8 +319,16 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 		s.misses++
 		return nil, false
 	}
-	payload := make([]byte, e.len)
-	if _, err := s.log.ReadAt(payload, e.off); err != nil {
+	buf := make([]byte, headerSize+int(e.len))
+	if _, err := s.log.ReadAt(buf, e.off-headerSize); err != nil {
+		s.ioErrors++
+		s.misses++
+		return nil, false
+	}
+	hk, plen, payloadCRC, ok := parseEntryHeader(buf[:headerSize])
+	payload := buf[headerSize:]
+	if !ok || hk != k || plen != int64(e.len) || crc32Sum(payload) != payloadCRC {
+		s.ioErrors++
 		s.misses++
 		return nil, false
 	}
@@ -383,16 +382,13 @@ func (s *Store) Put(k Key, payload []byte) error {
 	return nil
 }
 
-// appendLocked writes one framed entry at the log tail and indexes it.
+// appendLocked writes one framed entry at the log tail and indexes it. A
+// short write leaves a torn tail the next Open truncates; the in-memory
+// state only advances on full success.
 func (s *Store) appendLocked(k Key, payload []byte) error {
-	buf := make([]byte, headerSize+len(payload))
-	copy(buf[:4], entryMagic)
-	copy(buf[4:36], k[:])
-	binary.LittleEndian.PutUint32(buf[36:40], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[40:44], crc32.Checksum(payload, crcTable))
-	binary.LittleEndian.PutUint32(buf[44:48], crc32.Checksum(buf[:headerSize-4], crcTable))
-	copy(buf[headerSize:], payload)
+	buf := frameEntry(k, payload)
 	if _, err := s.log.WriteAt(buf, s.logSize); err != nil {
+		s.ioErrors++
 		return fmt.Errorf("diskstore: appending entry: %w", err)
 	}
 	s.setLive(k, indexEntry{off: s.logSize + headerSize, len: int32(len(payload))})
@@ -419,11 +415,36 @@ func (s *Store) GC() (int, error) {
 	return before - len(s.index), nil
 }
 
-// gcLocked rewrites the newest entries (within 3/4 of capacity) to a fresh
-// log and atomically replaces the old one. Also runs opportunistically
-// when a duplicate-heavy or damaged log holds dead bytes.
+// gcLocked compacts the log, keeping the newest entries within 3/4 of
+// capacity. A full disk makes compaction itself fail — exactly when space
+// is most needed — so on any write failure the target shrinks by half and
+// the rewrite retries, down to an empty log if that is all that fits.
+// Dropping cached entries is always acceptable; refusing to reclaim space
+// is not.
 func (s *Store) gcLocked() error {
-	target := s.maxBytes * 3 / 4
+	var lastErr error
+	for target := s.maxBytes * 3 / 4; ; target /= 2 {
+		err := s.compactTo(target)
+		if err == nil {
+			// The old snapshot points into the replaced log: rewrite it now.
+			// Best-effort — on a full disk the log replay covers for it.
+			if serr := s.saveSnapshotLocked(); serr != nil && lastErr == nil {
+				return serr
+			}
+			return nil
+		}
+		s.ioErrors++
+		lastErr = err
+		if target == 0 {
+			return lastErr
+		}
+	}
+}
+
+// compactTo rewrites the newest entries that fit within target bytes to a
+// fresh log and atomically replaces the old one. The old log and index are
+// untouched unless the swap fully succeeds.
+func (s *Store) compactTo(target int64) error {
 	// Walk newest → oldest, keeping entries while they fit.
 	keep := make([]Key, 0, len(s.order))
 	var kept int64
@@ -443,15 +464,14 @@ func (s *Store) gcLocked() error {
 	}
 
 	tmpPath := filepath.Join(s.dir, logName+".tmp")
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := s.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("diskstore: gc: %w", err)
 	}
-	defer os.Remove(tmpPath) // no-op after the rename succeeds
+	defer s.fs.Remove(tmpPath) // no-op after the rename succeeds
 
 	newIndex := make(map[Key]indexEntry, len(keep))
 	var off int64
-	buf := make([]byte, headerSize)
 	for _, k := range keep {
 		e := s.index[k]
 		payload := make([]byte, e.len)
@@ -459,12 +479,7 @@ func (s *Store) gcLocked() error {
 			tmp.Close()
 			return fmt.Errorf("diskstore: gc: reading entry: %w", err)
 		}
-		copy(buf[:4], entryMagic)
-		copy(buf[4:36], k[:])
-		binary.LittleEndian.PutUint32(buf[36:40], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(buf[40:44], crc32.Checksum(payload, crcTable))
-		binary.LittleEndian.PutUint32(buf[44:48], crc32.Checksum(buf[:headerSize-4], crcTable))
-		if _, err := tmp.WriteAt(append(append([]byte{}, buf...), payload...), off); err != nil {
+		if _, err := tmp.WriteAt(frameEntry(k, payload), off); err != nil {
 			tmp.Close()
 			return fmt.Errorf("diskstore: gc: %w", err)
 		}
@@ -475,7 +490,7 @@ func (s *Store) gcLocked() error {
 		tmp.Close()
 		return fmt.Errorf("diskstore: gc: %w", err)
 	}
-	if err := os.Rename(tmpPath, filepath.Join(s.dir, logName)); err != nil {
+	if err := s.fs.Rename(tmpPath, filepath.Join(s.dir, logName)); err != nil {
 		tmp.Close()
 		return fmt.Errorf("diskstore: gc: %w", err)
 	}
@@ -487,8 +502,7 @@ func (s *Store) gcLocked() error {
 	s.logSize = off
 	s.gcRuns++
 	s.gcDropped += dropped
-	// The old snapshot points into the replaced log: rewrite it now.
-	return s.saveSnapshotLocked()
+	return nil
 }
 
 // SaveSnapshot atomically writes the in-memory index to index.snap so the
@@ -507,6 +521,7 @@ func (s *Store) SaveSnapshot() error {
 
 func (s *Store) saveSnapshotLocked() error {
 	if err := s.log.Sync(); err != nil {
+		s.ioErrors++
 		return fmt.Errorf("diskstore: snapshot: %w", err)
 	}
 	b := make([]byte, 0, len(snapMagic)+16+len(s.index)*snapEntSize+4)
@@ -522,11 +537,13 @@ func (s *Store) saveSnapshotLocked() error {
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
 
 	tmpPath := filepath.Join(s.dir, snapName+".tmp")
-	if err := os.WriteFile(tmpPath, b, 0o644); err != nil {
+	if err := s.fs.WriteFile(tmpPath, b, 0o644); err != nil {
+		s.ioErrors++
 		return fmt.Errorf("diskstore: snapshot: %w", err)
 	}
-	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapName)); err != nil {
-		os.Remove(tmpPath)
+	if err := s.fs.Rename(tmpPath, filepath.Join(s.dir, snapName)); err != nil {
+		s.fs.Remove(tmpPath)
+		s.ioErrors++
 		return fmt.Errorf("diskstore: snapshot: %w", err)
 	}
 	s.snapUpTo = s.logSize
@@ -568,35 +585,19 @@ func (s *Store) Verify() (VerifyResult, error) {
 	}
 	size := fi.Size()
 	valid := make(map[Key]bool)
-	hdr := make([]byte, headerSize)
-	off := int64(0)
-	for off+headerSize <= size {
-		if _, err := s.log.ReadAt(hdr, off); err != nil {
-			return res, fmt.Errorf("diskstore: reading log at %d: %w", off, err)
-		}
-		if string(hdr[:4]) != entryMagic ||
-			crc32.Checksum(hdr[:headerSize-4], crcTable) != binary.LittleEndian.Uint32(hdr[headerSize-4:]) {
-			break
-		}
-		payloadLen := int64(binary.LittleEndian.Uint32(hdr[36:40]))
-		if off+headerSize+payloadLen > size {
-			break
-		}
-		payload := make([]byte, payloadLen)
-		if _, err := s.log.ReadAt(payload, off+headerSize); err != nil {
-			return res, fmt.Errorf("diskstore: reading log at %d: %w", off+headerSize, err)
-		}
-		var k Key
-		copy(k[:], hdr[4:36])
-		if crc32.Checksum(payload, crcTable) == binary.LittleEndian.Uint32(hdr[40:44]) {
+	sound, _, err := scanEntries(s.log, 0, size, func(r scanResult) {
+		if r.valid {
 			res.Valid++
-			valid[k] = true
+			valid[r.key] = true
 		} else {
 			res.Corrupt++
 		}
-		off += headerSize + payloadLen
+	})
+	if err != nil {
+		s.ioErrors++
+		return res, fmt.Errorf("diskstore: verifying log: %w", err)
 	}
-	res.TornBytes = size - off
+	res.TornBytes = size - sound
 	for k := range s.index {
 		if !valid[k] {
 			res.IndexedMissing++
@@ -634,7 +635,17 @@ func (s *Store) Stats() Stats {
 		GCDropped:      s.gcDropped,
 		SnapshotUpTo:   s.snapUpTo,
 		SnapshotUnix:   s.snapUnix,
+		IOErrors:       s.ioErrors,
 	}
+}
+
+// IOErrors returns the count of internal read/write failures since Open.
+// Cheap enough to poll after every operation: the degradation ladder in
+// the root package does exactly that.
+func (s *Store) IOErrors() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ioErrors
 }
 
 // Close snapshots the index (when writable), syncs and closes the log, and

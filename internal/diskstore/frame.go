@@ -1,0 +1,92 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Entry framing shared by the content-addressed store log and the job
+// journal: every record is a 48-byte checksummed header followed by the
+// payload (see the package comment for the byte layout). Keeping one
+// framing means one set of recovery rules — torn tails truncate, corrupt
+// payloads skip, corrupt headers end the scan — proven once and reused.
+
+// frameEntry renders one framed entry: header(48B) + payload.
+func frameEntry(k Key, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf[:4], entryMagic)
+	copy(buf[4:36], k[:])
+	binary.LittleEndian.PutUint32(buf[36:40], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[40:44], crc32Sum(payload))
+	binary.LittleEndian.PutUint32(buf[44:48], crc32Sum(buf[:headerSize-4]))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// parseEntryHeader validates a 48-byte header. ok is false when the magic
+// or the header checksum does not hold — framing past that point cannot be
+// trusted.
+func parseEntryHeader(hdr []byte) (k Key, payloadLen int64, payloadCRC uint32, ok bool) {
+	if string(hdr[:4]) != entryMagic ||
+		crc32Sum(hdr[:headerSize-4]) != binary.LittleEndian.Uint32(hdr[headerSize-4:]) {
+		return k, 0, 0, false
+	}
+	copy(k[:], hdr[4:36])
+	payloadLen = int64(binary.LittleEndian.Uint32(hdr[36:40]))
+	payloadCRC = binary.LittleEndian.Uint32(hdr[40:44])
+	return k, payloadLen, payloadCRC, true
+}
+
+// scanResult is one entry seen by scanEntries.
+type scanResult struct {
+	key     Key
+	off     int64 // payload offset
+	payload []byte
+	valid   bool // payload checksum held
+}
+
+// scanEntries walks framed entries in [from, size) of f, calling fn for
+// each structurally intact entry (valid reports whether the payload
+// checksum held). It returns the offset up to which the log is
+// structurally sound plus how many damaged entries were seen; bytes past
+// the returned offset (torn tail or corrupt framing) are the caller's to
+// truncate. A read error aborts the scan.
+func scanEntries(f File, from, size int64, fn func(scanResult)) (sound int64, damaged int, err error) {
+	off := from
+	hdr := make([]byte, headerSize)
+	for off+headerSize <= size {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			return 0, damaged, err
+		}
+		k, payloadLen, payloadCRC, ok := parseEntryHeader(hdr)
+		if !ok {
+			// Framing can't be trusted past a bad header: stop here. A
+			// crash that tore the header mid-write lands in this case too.
+			damaged++
+			return off, damaged, nil
+		}
+		if off+headerSize+payloadLen > size {
+			// Torn tail: header landed, payload did not.
+			damaged++
+			return off, damaged, nil
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := f.ReadAt(payload, off+headerSize); err != nil {
+			return 0, damaged, err
+		}
+		valid := crc32Sum(payload) == payloadCRC
+		if !valid {
+			damaged++
+		}
+		fn(scanResult{key: k, off: off + headerSize, payload: payload, valid: valid})
+		off += headerSize + payloadLen
+	}
+	if off < size {
+		// Shorter than one header: torn tail.
+		damaged++
+	}
+	return off, damaged, nil
+}
+
+// crc32Sum is the package checksum (CRC-32C).
+func crc32Sum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }

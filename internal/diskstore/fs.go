@@ -1,0 +1,62 @@
+package diskstore
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam every durable artifact in this package — the
+// store log, snapshots and job journals — is written through. Production
+// code uses OSFS; internal/faultinject wraps it to inject short writes,
+// ENOSPC, read errors, bit flips and rename failures deterministically, so
+// the recovery invariants documented on Open can be swept instead of
+// hand-scripted.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (os.Rename semantics).
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadFile slurps name.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes data to name, creating or truncating it.
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	// MkdirAll creates the directory path and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// Stat describes name.
+	Stat(name string) (os.FileInfo, error)
+}
+
+// File is the open-file half of the FS seam: the positioned read/write
+// surface the append log needs, nothing more.
+type File interface {
+	io.Closer
+	ReadAt(p []byte, off int64) (n int, err error)
+	WriteAt(p []byte, off int64) (n int, err error)
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+}
+
+// OSFS is the real filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }

@@ -1,0 +1,177 @@
+package diskstore
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal is a write-ahead log of opaque records, built on the same framed
+// entry format (and therefore the same recovery rules) as the store log:
+// each record is a 48-byte checksummed header plus payload, a torn tail is
+// truncated at open, a payload that fails its checksum is skipped, and a
+// corrupt header ends replay. The entry key slot carries the SHA-256 of
+// the payload, making every record independently self-validating.
+//
+// The server journals every accepted job spec through one of these so a
+// crash between "202 Accepted" and job completion loses nothing: the next
+// start replays the journal and re-enqueues whatever never reached a
+// terminal record. Unlike Store, a Journal is plain append-only history —
+// no index, no GC, no dedup — because a WAL's value is its order.
+//
+// A Journal is owned by one process at a time (callers arrange that; the
+// server keeps it inside its locked store directory). Concurrent use
+// within the process is safe.
+type Journal struct {
+	mu     sync.Mutex
+	fs     FS
+	path   string
+	f      File
+	size   int64
+	closed bool
+
+	appends   int64
+	recovered int
+	damaged   int
+	truncated int64
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays it,
+// truncates any torn tail, and returns the valid record payloads in append
+// order. A nil fs selects the real OS.
+func OpenJournal(path string, fs FS) (*Journal, [][]byte, error) {
+	if fs == nil {
+		fs = OSFS
+	}
+	if err := fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("diskstore: journal: %w", err)
+	}
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("diskstore: journal: %w", err)
+	}
+	j := &Journal{fs: fs, path: path, f: f}
+	records, err := j.recover()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return j, records, nil
+}
+
+// recover replays the journal, truncating whatever follows the last sound
+// entry so the next append lands on trustworthy framing.
+func (j *Journal) recover() ([][]byte, error) {
+	fi, err := j.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: journal: %w", err)
+	}
+	size := fi.Size()
+	var records [][]byte
+	sound, damaged, err := scanEntries(j.f, 0, size, func(r scanResult) {
+		if r.valid {
+			records = append(records, r.payload)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: journal: replaying: %w", err)
+	}
+	j.recovered = len(records)
+	j.damaged = damaged
+	if sound < size {
+		j.truncated = size - sound
+		if err := j.f.Truncate(sound); err != nil {
+			return nil, fmt.Errorf("diskstore: journal: truncating torn tail: %w", err)
+		}
+	}
+	j.size = sound
+	return records, nil
+}
+
+// Append durably writes one record: the entry is framed, written at the
+// tail and synced before Append returns, so an acknowledged record
+// survives an immediate crash. A failed append leaves at worst a torn
+// tail, which the next open truncates.
+func (j *Journal) Append(payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("diskstore: journal is closed")
+	}
+	buf := frameEntry(sha256.Sum256(payload), payload)
+	if _, err := j.f.WriteAt(buf, j.size); err != nil {
+		return fmt.Errorf("diskstore: journal: appending: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("diskstore: journal: syncing: %w", err)
+	}
+	j.size += int64(len(buf))
+	j.appends++
+	return nil
+}
+
+// Rewrite atomically replaces the journal contents with exactly the given
+// records (a compaction: completed history is dropped, pending records are
+// kept). On any failure the existing journal is left in place.
+func (j *Journal) Rewrite(records [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("diskstore: journal is closed")
+	}
+	tmpPath := j.path + ".tmp"
+	tmp, err := j.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskstore: journal: rewrite: %w", err)
+	}
+	defer j.fs.Remove(tmpPath) // no-op after the rename succeeds
+	var off int64
+	for _, rec := range records {
+		buf := frameEntry(sha256.Sum256(rec), rec)
+		if _, err := tmp.WriteAt(buf, off); err != nil {
+			tmp.Close()
+			return fmt.Errorf("diskstore: journal: rewrite: %w", err)
+		}
+		off += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskstore: journal: rewrite: %w", err)
+	}
+	if err := j.fs.Rename(tmpPath, j.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskstore: journal: rewrite: %w", err)
+	}
+	j.f.Close()
+	j.f = tmp
+	j.size = off
+	return nil
+}
+
+// Stats describe the journal: appends since open, what open recovered
+// (valid records) and dropped (damaged records, torn-tail bytes).
+func (j *Journal) Stats() (appends int64, recovered, damaged int, truncated int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends, j.recovered, j.damaged, j.truncated
+}
+
+// Path returns the journal file's path.
+func (j *Journal) Path() string { return j.path }
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return fmt.Errorf("diskstore: journal: %w", err)
+	}
+	return j.f.Close()
+}

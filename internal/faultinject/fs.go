@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+
+	"scalesim/internal/diskstore"
+)
+
+// ErrInjectedDisk is the injected write-side failure, shaped like a full
+// disk: callers that degrade on ENOSPC degrade on this too.
+var ErrInjectedDisk = errors.New("faultinject: no space left on device (injected)")
+
+// ErrInjectedRead is the injected read-side failure (a dying medium).
+var ErrInjectedRead = errors.New("faultinject: input/output error (injected)")
+
+// FS wraps base with the plan's disk faults: read/write errors, short
+// writes, bit flips and rename failures, each drawn deterministically per
+// file. A nil plan returns base untouched; a nil base means the real OS.
+func (p *Plan) FS(base diskstore.FS) diskstore.FS {
+	if base == nil {
+		base = diskstore.OSFS
+	}
+	if p == nil {
+		return base
+	}
+	return faultFS{p: p, base: base}
+}
+
+type faultFS struct {
+	p    *Plan
+	base diskstore.FS
+}
+
+func (f faultFS) OpenFile(name string, flag int, perm os.FileMode) (diskstore.File, error) {
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{p: f.p, base: file, name: filepath.Base(name)}, nil
+}
+
+func (f faultFS) Rename(oldpath, newpath string) error {
+	if f.p.roll("fs.rename", f.p.cfg.DiskRename) {
+		f.p.count("disk.rename")
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: ErrInjectedDisk}
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f faultFS) Remove(name string) error { return f.base.Remove(name) }
+
+func (f faultFS) ReadFile(name string) ([]byte, error) {
+	if f.p.roll("fs.readfile", f.p.cfg.DiskError) {
+		f.p.count("disk.error")
+		return nil, &os.PathError{Op: "read", Path: name, Err: ErrInjectedRead}
+	}
+	return f.base.ReadFile(name)
+}
+
+func (f faultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if f.p.roll("fs.writefile", f.p.cfg.DiskError) {
+		f.p.count("disk.error")
+		return &os.PathError{Op: "write", Path: name, Err: ErrInjectedDisk}
+	}
+	if f.p.roll("fs.writefile.bitflip", f.p.cfg.DiskBitFlip) && len(data) > 0 {
+		f.p.count("disk.bitflip")
+		data = flipOneBit(data, f.p.intn("fs.writefile.bitflip.at", len(data)*8))
+	}
+	return f.base.WriteFile(name, data, perm)
+}
+
+func (f faultFS) MkdirAll(path string, perm os.FileMode) error { return f.base.MkdirAll(path, perm) }
+func (f faultFS) Stat(name string) (os.FileInfo, error)        { return f.base.Stat(name) }
+
+// faultFile wraps one open file. Sites are keyed by base name, so the
+// decision sequence for store.log is independent of index.snap traffic.
+type faultFile struct {
+	p    *Plan
+	base diskstore.File
+	name string
+}
+
+func (f *faultFile) ReadAt(b []byte, off int64) (int, error) {
+	if f.p.roll("file.read:"+f.name, f.p.cfg.DiskError) {
+		f.p.count("disk.error")
+		return 0, &os.PathError{Op: "read", Path: f.name, Err: ErrInjectedRead}
+	}
+	return f.base.ReadAt(b, off)
+}
+
+func (f *faultFile) WriteAt(b []byte, off int64) (int, error) {
+	site := "file.write:" + f.name
+	if f.p.roll(site, f.p.cfg.DiskError) {
+		f.p.count("disk.error")
+		return 0, &os.PathError{Op: "write", Path: f.name, Err: ErrInjectedDisk}
+	}
+	if f.p.roll(site+":short", f.p.cfg.DiskShortWrite) && len(b) > 1 {
+		// Persist a strict prefix, then fail: the torn-tail shape a crash
+		// mid-write leaves, which recovery must truncate.
+		f.p.count("disk.short")
+		cut := 1 + f.p.intn(site+":short.at", len(b)-1)
+		n, err := f.base.WriteAt(b[:cut], off)
+		if err != nil {
+			return n, err
+		}
+		return n, &os.PathError{Op: "write", Path: f.name, Err: ErrInjectedDisk}
+	}
+	if f.p.roll(site+":bitflip", f.p.cfg.DiskBitFlip) && len(b) > 0 {
+		// Flip one bit of what lands on disk: the write "succeeds", the
+		// damage only surfaces at read or recovery time — silent bit rot.
+		f.p.count("disk.bitflip")
+		mut := flipOneBit(b, f.p.intn(site+":bitflip.at", len(b)*8))
+		return f.base.WriteAt(mut, off)
+	}
+	return f.base.WriteAt(b, off)
+}
+
+func (f *faultFile) Truncate(size int64) error { return f.base.Truncate(size) }
+
+func (f *faultFile) Sync() error {
+	if f.p.roll("file.sync:"+f.name, f.p.cfg.DiskError) {
+		f.p.count("disk.error")
+		return &os.PathError{Op: "sync", Path: f.name, Err: ErrInjectedDisk}
+	}
+	return f.base.Sync()
+}
+
+func (f *faultFile) Stat() (os.FileInfo, error) { return f.base.Stat() }
+func (f *faultFile) Close() error               { return f.base.Close() }
+
+// flipOneBit returns a copy of b with bit i flipped.
+func flipOneBit(b []byte, i int) []byte {
+	mut := append([]byte(nil), b...)
+	mut[i/8] ^= 1 << (i % 8)
+	return mut
+}

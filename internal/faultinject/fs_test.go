@@ -1,0 +1,155 @@
+package faultinject
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scalesim/internal/diskstore"
+)
+
+func openTestFile(t *testing.T, fs diskstore.FS, name string) diskstore.File {
+	t.Helper()
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestFSNilPlanAndNilBase(t *testing.T) {
+	var p *Plan
+	if got := p.FS(diskstore.OSFS); got != diskstore.OSFS {
+		t.Error("nil plan did not pass base through")
+	}
+	if got := p.FS(nil); got != diskstore.OSFS {
+		t.Error("nil base did not default to OSFS")
+	}
+}
+
+func TestFSInjectsWriteAndReadErrors(t *testing.T) {
+	p := New(Config{Seed: 1, DiskError: 1})
+	f := openTestFile(t, p.FS(nil), "store.log")
+	if _, err := f.WriteAt([]byte("hello"), 0); !errors.Is(err, ErrInjectedDisk) {
+		t.Fatalf("WriteAt err = %v, want ErrInjectedDisk", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 4), 0); !errors.Is(err, ErrInjectedRead) {
+		t.Fatalf("ReadAt err = %v, want ErrInjectedRead", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjectedDisk) {
+		t.Fatalf("Sync err = %v, want ErrInjectedDisk", err)
+	}
+	c := p.Counts()
+	if c["disk.error"] < 3 {
+		t.Errorf("disk.error count = %d, want >= 3", c["disk.error"])
+	}
+}
+
+// TestFSShortWriteLeavesTornPrefix: the short-write fault must persist a
+// strict prefix and report failure — the exact shape diskstore recovery is
+// built to truncate.
+func TestFSShortWriteLeavesTornPrefix(t *testing.T) {
+	p := New(Config{Seed: 2, DiskShortWrite: 1})
+	f := openTestFile(t, p.FS(nil), "store.log")
+	payload := bytes.Repeat([]byte{0xAB}, 100)
+	n, err := f.WriteAt(payload, 0)
+	if err == nil {
+		t.Fatal("short write reported success")
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("short write persisted %d bytes, want a strict non-empty prefix of %d", n, len(payload))
+	}
+	got := make([]byte, n)
+	if _, err := f.(*faultFile).base.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:n]) {
+		t.Error("persisted prefix does not match the written payload")
+	}
+}
+
+// TestFSBitFlipIsSilent: the bit-flip fault succeeds from the writer's
+// point of view but lands exactly one flipped bit on disk.
+func TestFSBitFlipIsSilent(t *testing.T) {
+	p := New(Config{Seed: 3, DiskBitFlip: 1})
+	f := openTestFile(t, p.FS(nil), "store.log")
+	payload := bytes.Repeat([]byte{0x00}, 32)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatalf("bit-flip write must succeed silently, got %v", err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := f.(*faultFile).base.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^payload[i])&(1<<b) != 0 {
+				flipped++
+			}
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("found %d flipped bits, want exactly 1", flipped)
+	}
+}
+
+func TestFSInjectsRenameFailure(t *testing.T) {
+	p := New(Config{Seed: 4, DiskRename: 1})
+	fs := p.FS(nil)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(src, filepath.Join(dir, "b")); !errors.Is(err, ErrInjectedDisk) {
+		t.Fatalf("Rename err = %v, want ErrInjectedDisk", err)
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Error("failed rename removed the source file")
+	}
+}
+
+// TestDiskstoreSurvivesInjectedFaults drives the real store through a
+// moderately hostile plan: every Put either succeeds or errors, Get never
+// returns corrupt data (checksums catch injected bit flips), and a reopen
+// recovers a consistent store.
+func TestDiskstoreSurvivesInjectedFaults(t *testing.T) {
+	p := New(Config{Seed: 5, DiskError: 0.05, DiskShortWrite: 0.05, DiskBitFlip: 0.05, DiskRename: 0.2})
+	dir := t.TempDir()
+	s, err := diskstore.Open(dir, diskstore.Options{FS: p.FS(nil)})
+	if err != nil {
+		t.Fatalf("Open under faults: %v", err)
+	}
+	payloads := map[diskstore.Key][]byte{}
+	for i := 0; i < 200; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 64+i)
+		key := diskstore.Key(sha256.Sum256(payload))
+		if err := s.Put(key, payload); err == nil {
+			payloads[key] = payload
+		}
+	}
+	for key, want := range payloads {
+		if got, ok := s.Get(key); ok && !bytes.Equal(got, want) {
+			t.Fatalf("Get returned corrupt payload for %x", key[:4])
+		}
+	}
+	s.Close()
+
+	// Reopen on the clean FS: recovery must skip or truncate damage, not
+	// fail, and every surviving entry must be intact.
+	s2, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		t.Fatalf("reopen after faulty run: %v", err)
+	}
+	defer s2.Close()
+	for key, want := range payloads {
+		if got, ok := s2.Get(key); ok && !bytes.Equal(got, want) {
+			t.Fatalf("recovered store returned corrupt payload for %x", key[:4])
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package faultinject
+
+import "fmt"
+
+// JobHook returns the server-side execution hook: the server calls it with
+// the job ID when a worker picks the job up, and with probability JobCrash
+// it panics — the worker-crash-mid-job shape. The server's worker recovery
+// converts the panic into a terminal job failure, which is exactly the
+// invariant under test: a crashed job must fail loudly, never vanish.
+// The decision is drawn per job ID, so a given job crashes (or not)
+// identically on every replay of the plan. Returns nil for a nil plan.
+func (p *Plan) JobHook() func(jobID string) {
+	if p == nil {
+		return nil
+	}
+	return func(jobID string) {
+		if p.roll("job:"+jobID, p.cfg.JobCrash) {
+			p.count("job.crash")
+			panic(fmt.Sprintf("faultinject: injected worker crash in %s (plan %q)", jobID, p.String()))
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// defaultLatencySpike is the injected latency when NetLatencyBy is unset.
+const defaultLatencySpike = 50 * time.Millisecond
+
+// RoundTripper wraps base with the plan's network faults: connection
+// resets, latency spikes, truncated bodies and synthesized 503 bursts.
+// Sites are keyed by method and path, so polling one endpoint does not
+// perturb the decision sequence of another. A nil plan returns base
+// untouched; a nil base means http.DefaultTransport.
+func (p *Plan) RoundTripper(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if p == nil {
+		return base
+	}
+	return &faultTransport{p: p, base: base}
+}
+
+type faultTransport struct {
+	p    *Plan
+	base http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	site := "net:" + req.Method + ":" + req.URL.Path
+	cfg := t.p.cfg
+	if t.p.roll(site+":reset", cfg.NetReset) {
+		t.p.count("net.reset")
+		return nil, fmt.Errorf("faultinject: connection reset by peer (injected): %s %s", req.Method, req.URL)
+	}
+	if t.p.roll(site+":latency", cfg.NetLatency) {
+		t.p.count("net.latency")
+		spike := cfg.NetLatencyBy
+		if spike <= 0 {
+			spike = defaultLatencySpike
+		}
+		timer := time.NewTimer(spike)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if t.p.roll(site+":5xx", cfg.Net5xx) {
+		t.p.count("net.5xx")
+		// Synthesized without reaching the worker: the burst shape of an
+		// overloaded or restarting upstream.
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Retry-After": []string{"0"}},
+			Body:          io.NopCloser(strings.NewReader("injected 503\n")),
+			ContentLength: int64(len("injected 503\n")),
+			Request:       req,
+		}, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if t.p.roll(site+":truncate", cfg.NetTruncate) {
+		t.p.count("net.truncate")
+		resp.Body = &truncatedBody{rc: resp.Body}
+	}
+	return resp, nil
+}
+
+// truncatedBody lets one small read through, then reports unexpected EOF:
+// a connection dropped mid-body after the headers arrived intact.
+type truncatedBody struct {
+	rc    io.ReadCloser
+	reads int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.reads >= 1 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b.reads++
+	if len(p) > 16 {
+		p = p[:16]
+	}
+	return b.rc.Read(p)
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,157 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("payload ", 64))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestTransportNilPlanPassesThrough(t *testing.T) {
+	var p *Plan
+	if rt := p.RoundTripper(http.DefaultTransport); rt != http.DefaultTransport {
+		t.Error("nil plan did not pass the base transport through")
+	}
+	if rt := p.RoundTripper(nil); rt != http.DefaultTransport {
+		t.Error("nil base did not default to http.DefaultTransport")
+	}
+}
+
+func TestTransportInjectsConnectionReset(t *testing.T) {
+	ts := testBackend(t)
+	p := New(Config{Seed: 1, NetReset: 1})
+	client := &http.Client{Transport: p.RoundTripper(nil)}
+	if _, err := client.Get(ts.URL); err == nil {
+		t.Fatal("reset-injected request succeeded")
+	}
+	if p.Counts()["net.reset"] == 0 {
+		t.Error("reset not counted")
+	}
+}
+
+func TestTransportInjects503WithRetryAfter(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ }))
+	t.Cleanup(ts.Close)
+	p := New(Config{Seed: 2, Net5xx: 1})
+	client := &http.Client{Transport: p.RoundTripper(nil)}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("injected 503 missing Retry-After header")
+	}
+	if hits != 0 {
+		t.Error("injected 503 still reached the backend")
+	}
+}
+
+func TestTransportTruncatesBody(t *testing.T) {
+	ts := testBackend(t)
+	p := New(Config{Seed: 3, NetTruncate: 1})
+	client := &http.Client{Transport: p.RoundTripper(nil)}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("ReadAll err = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(body) == 0 || len(body) > 16 {
+		t.Errorf("truncated body delivered %d bytes, want 1..16", len(body))
+	}
+}
+
+func TestTransportLatencyHonorsContext(t *testing.T) {
+	ts := testBackend(t)
+	p := New(Config{Seed: 4, NetLatency: 1, NetLatencyBy: time.Minute})
+	client := &http.Client{Transport: p.RoundTripper(nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("minute-long latency spike beat a 20ms deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled request took %v; latency sleep ignored the context", elapsed)
+	}
+}
+
+// TestTransportSitesAreIndependent: traffic on one endpoint must not
+// change another endpoint's injection sequence — the determinism property
+// at the transport seam.
+func TestTransportSitesAreIndependent(t *testing.T) {
+	cfg := Config{Seed: 5, Net5xx: 0.5}
+	record := func(p *Plan, interleave bool) []int {
+		ts := testBackend(t)
+		client := &http.Client{Transport: p.RoundTripper(nil)}
+		var codes []int
+		for i := 0; i < 32; i++ {
+			if interleave {
+				resp, err := client.Get(ts.URL + "/other")
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+			resp, err := client.Get(ts.URL + "/target")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			codes = append(codes, resp.StatusCode)
+		}
+		return codes
+	}
+	a := record(New(cfg), false)
+	b := record(New(cfg), true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d to /target diverged (%d vs %d) under interleaved /other traffic", i, a[i], b[i])
+		}
+	}
+}
+
+func TestJobHookCrashesDeterministically(t *testing.T) {
+	crashes := func(p *Plan, id string) (crashed bool) {
+		defer func() { crashed = recover() != nil }()
+		p.JobHook()(id)
+		return false
+	}
+	a, b := New(Config{Seed: 6, JobCrash: 0.5}), New(Config{Seed: 6, JobCrash: 0.5})
+	for i := 0; i < 32; i++ {
+		id := "job-" + strings.Repeat("0", 5) + string(rune('a'+i%26))
+		if crashes(a, id) != crashes(b, id) {
+			t.Fatalf("job %s crash decision diverged between identical plans", id)
+		}
+	}
+	never := New(Config{Seed: 6, JobCrash: 0})
+	if crashes(never, "job-000001") {
+		t.Error("zero-rate plan crashed a job")
+	}
+	always := New(Config{Seed: 6, JobCrash: 1})
+	if !crashes(always, "job-000001") {
+		t.Error("rate-1 plan did not crash the job")
+	}
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"scalesim"
+	"scalesim/internal/diskstore"
+	"scalesim/internal/faultinject"
+)
+
+// TestServerChaosZeroLostByteIdentical is the disk-and-worker half of the
+// chaos harness: a server with a seeded fault plan at every seam — store
+// I/O errors, short writes, silent bit flips, worker crashes — and a
+// journal on the same hostile disk. Two invariants under chaos: no job is
+// lost (every accepted job reaches an observable terminal state), and no
+// result is corrupted (every done payload is byte-identical to a
+// fault-free run; crash-failed jobs say so visibly).
+func TestServerChaosZeroLostByteIdentical(t *testing.T) {
+	// Fault-free reference payload.
+	_, tsRef := newTestServer(t, 2)
+	refJob := enqueueJob(t, tsRef.URL, "/v1/runs", smallRunBody)
+	if dto := waitJob(t, tsRef.URL, refJob.ID); dto.State != string(JobDone) {
+		t.Fatalf("reference job settled as %s", dto.State)
+	}
+	want := fetchReports(t, tsRef.URL, refJob.ID)
+
+	plan := faultinject.New(faultinject.Config{
+		Seed: 1337, DiskError: 0.05, DiskShortWrite: 0.05, DiskBitFlip: 0.05, JobCrash: 0.25,
+	})
+	dir := t.TempDir()
+	cache := scalesim.NewCache(0, 0)
+	if err := cache.AttachStoreFS(filepath.Join(dir, "store"), 0, plan.FS(nil)); err != nil {
+		t.Fatalf("AttachStoreFS under chaos plan: %v", err)
+	}
+	journal, records, err := diskstore.OpenJournal(filepath.Join(dir, "jobs.journal"), plan.FS(nil))
+	if err != nil {
+		t.Fatalf("OpenJournal under chaos plan: %v", err)
+	}
+	s := New(Options{Shards: 2, QueueDepth: 32, Cache: cache,
+		Journal: journal, JournalRecords: records,
+		JobHook: plan.JobHook(), FaultCounts: plan.Counts})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck
+		journal.Close()
+		cache.CloseStore() //nolint:errcheck
+	}()
+
+	// Accept fast: small jobs can already be terminal by the time the 202
+	// body renders, so only the ID matters here.
+	const jobs = 12
+	var ids []string
+	for i := 0; i < jobs; i++ {
+		code, b := postJSON(t, ts.URL+"/v1/runs", smallRunBody)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST /v1/runs = %d; body: %s", code, b)
+		}
+		var dto JobDTO
+		if err := json.Unmarshal(b, &dto); err != nil || dto.ID == "" {
+			t.Fatalf("accepted body %s: %v", b, err)
+		}
+		ids = append(ids, dto.ID)
+	}
+
+	done, crashed := 0, 0
+	for _, id := range ids {
+		dto := waitJob(t, ts.URL, id)
+		switch dto.State {
+		case string(JobDone):
+			done++
+			if got := fetchReports(t, ts.URL, id); !bytes.Equal(got, want) {
+				t.Errorf("job %s payload differs from fault-free reference; plan %q", id, plan.String())
+			}
+		case string(JobFailed):
+			crashed++
+			if !strings.Contains(dto.Error, "job panicked") {
+				t.Errorf("job %s failed with %q, want an injected crash", id, dto.Error)
+			}
+		default:
+			t.Fatalf("job %s settled as %s under chaos — a lost job", id, dto.State)
+		}
+	}
+	if done+crashed != jobs {
+		t.Fatalf("%d done + %d crashed != %d accepted", done, crashed, jobs)
+	}
+	if done == 0 {
+		t.Error("every job crashed; the plan is too hot to prove byte-identity")
+	}
+
+	// The injected-fault counters surface in /metrics when anything fired.
+	if counts := plan.Counts(); len(counts) > 0 {
+		code, b := getJSON(t, ts.URL+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("GET /metrics = %d", code)
+		}
+		if !strings.Contains(string(b), "scalesim_faults_injected_total") {
+			t.Error("metrics missing scalesim_faults_injected_total with faults injected")
+		}
+	}
+	t.Logf("disk/worker chaos: %d done, %d crashed, faults %v", done, crashed, plan.Counts())
+}

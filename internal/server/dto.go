@@ -409,11 +409,14 @@ func TopologyToDTO(t *scalesim.Topology) TopologyDTO {
 	return d
 }
 
-// RunRequest is the body of POST /v1/runs.
+// RunRequest is the body of POST /v1/runs. TimeoutS, when positive, bounds
+// the job's execution wall time (overriding the server's -job-timeout
+// default); a job exceeding it finishes failed with a deadline error.
 type RunRequest struct {
 	Config      json.RawMessage `json:"config,omitempty"`
 	Topology    TopologyDTO     `json:"topology"`
 	Parallelism int             `json:"parallelism,omitempty"`
+	TimeoutS    float64         `json:"timeout_s,omitempty"`
 }
 
 // SweepPointDTO is one point of a SweepRequest.
@@ -423,10 +426,12 @@ type SweepPointDTO struct {
 	Topology TopologyDTO     `json:"topology"`
 }
 
-// SweepRequest is the body of POST /v1/sweeps.
+// SweepRequest is the body of POST /v1/sweeps. TimeoutS bounds the whole
+// sweep job, not each point.
 type SweepRequest struct {
 	Points      []SweepPointDTO `json:"points"`
 	Parallelism int             `json:"parallelism,omitempty"`
+	TimeoutS    float64         `json:"timeout_s,omitempty"`
 }
 
 // ExploreRequest is the body of POST /v1/explore. Space and Objectives use
@@ -442,6 +447,7 @@ type ExploreRequest struct {
 	Seed        int64           `json:"seed,omitempty"`
 	Batch       int             `json:"batch,omitempty"`
 	Parallelism int             `json:"parallelism,omitempty"`
+	TimeoutS    float64         `json:"timeout_s,omitempty"`
 }
 
 // decodeRequest decodes an HTTP request body into dst, rejecting unknown

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -34,6 +35,10 @@ type Job struct {
 	id    string
 	kind  string
 	shard int
+	// timeout is the job's execution deadline (0 = none), resolved at
+	// accept time from the request's timeout_s or the server default and
+	// enforced by the shard worker via context.
+	timeout time.Duration
 
 	// run executes the job; it is called exactly once, by the shard worker
 	// that owns the job. The returned payload is the rendered reports JSON.
@@ -119,7 +124,12 @@ func (j *Job) finish(payload []byte, cache scalesim.RunCacheStats, err error) {
 	case err == nil:
 		j.state = JobDone
 		j.payload = payload
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		// Exceeding the job deadline is a failure the client must see as
+		// one — "canceled" would read as somebody's intent.
+		j.state = JobFailed
+		j.err = fmt.Errorf("job deadline exceeded after %s: %w", j.timeout, err)
+	case errors.Is(err, context.Canceled):
 		j.state = JobCanceled
 		j.err = err
 	default:
@@ -170,6 +180,16 @@ func (j *Job) setProgress(done, total int) {
 	defer j.mu.Unlock()
 	j.progress = ProgressDTO{Done: done, Total: total}
 	j.publishLocked()
+}
+
+// duration returns the job's wall time, 0 until it finished running.
+func (j *Job) duration() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() || j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
 }
 
 // reports returns the rendered payload of a done job, or false when the

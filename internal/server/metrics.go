@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -66,6 +67,33 @@ func (s *Server) initMetrics() {
 		}
 		return 0
 	})
+	reg.CounterFunc("scalesim_jobs_resumed_total", "Journaled jobs re-enqueued after a restart.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.resumed)
+	})
+	reg.GaugeFunc("scalesim_store_degraded", "Whether the persistent store detached itself after repeated I/O errors (1) or is healthy/absent (0).", func() float64 {
+		if s.cache.StoreDegraded() {
+			return 1
+		}
+		return 0
+	})
+	reg.CounterVecFunc("scalesim_faults_injected_total", "Faults injected by the active fault plan, by kind.", []string{"kind"}, func() []telemetry.Sample {
+		if s.opts.FaultCounts == nil {
+			return nil
+		}
+		counts := s.opts.FaultCounts()
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		samples := make([]telemetry.Sample, len(kinds))
+		for i, k := range kinds {
+			samples[i] = telemetry.Sample{LabelValues: []string{k}, Value: float64(counts[k])}
+		}
+		return samples
+	})
 
 	cacheStat := func(get func(scalesim.CacheStats) float64) func() float64 {
 		return func() float64 { return get(s.cache.Stats()) }
@@ -103,6 +131,8 @@ func (s *Server) initMetrics() {
 		func(ss scalesim.StoreStats) float64 { return float64(ss.Misses) })
 	storeCounter("scalesim_store_put_bytes_total", "Payload bytes appended to the store since open.",
 		func(ss scalesim.StoreStats) float64 { return float64(ss.PutBytes) })
+	storeCounter("scalesim_store_io_errors_total", "Persistent store I/O errors since open.",
+		func(ss scalesim.StoreStats) float64 { return float64(ss.IOErrors) })
 	storeGauge("scalesim_store_snapshot_age_seconds", "Seconds since the last index snapshot (-1 when none).",
 		func(ss scalesim.StoreStats) float64 {
 			if ss.SnapshotUnix <= 0 {

@@ -60,6 +60,13 @@ func TestServerMetricsLegacyCompat(t *testing.T) {
 		"scalesim_http_request_duration_seconds",
 		"scalesim_http_in_flight_requests",
 		"scalesim_jobs_completed_total",
+		// Robustness instrumentation: journal resume, store degradation
+		// and injected-fault accounting (series appear only with an active
+		// fault plan, the family is always advertised).
+		"scalesim_jobs_resumed_total",
+		"scalesim_store_degraded",
+		"scalesim_store_io_errors_total",
+		"scalesim_faults_injected_total",
 	)
 	for _, fam := range families {
 		if !strings.Contains(metrics, "# TYPE "+fam+" ") {
@@ -76,6 +83,8 @@ func TestServerMetricsLegacyCompat(t *testing.T) {
 		`scalesim_jobs{state="done"} 1`,
 		"scalesim_draining 0",
 		`scalesim_jobs_completed_total{state="done"} 1`,
+		"scalesim_jobs_resumed_total 0",
+		"scalesim_store_degraded 0",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)

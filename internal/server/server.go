@@ -10,11 +10,13 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"scalesim"
+	"scalesim/internal/diskstore"
 	"scalesim/internal/telemetry"
 )
 
@@ -53,6 +55,31 @@ type Options struct {
 	// per-request access logs at Debug). Every job line carries the job ID
 	// and the owning worker shard. Nil discards all logs.
 	Logger *slog.Logger
+	// JobTimeout is the default per-job execution deadline, enforced via
+	// context; a job exceeding it fails with a deadline error instead of
+	// wedging its shard. Requests may override per job with timeout_s.
+	// Zero means no default deadline.
+	JobTimeout time.Duration
+	// MaxQueueWait bounds admission: when the estimated time a new job
+	// would spend queued (shard backlog x average job duration) exceeds it,
+	// the job is rejected with 503 + Retry-After instead of being accepted
+	// into a wait the client would have abandoned anyway. Zero disables
+	// the estimate (only full queues reject).
+	MaxQueueWait time.Duration
+	// Journal, when non-nil, write-ahead-logs every accepted job spec so a
+	// crash between acceptance and completion loses nothing: pass the
+	// records OpenJournal recovered as JournalRecords and New re-enqueues
+	// every job that never reached a terminal state.
+	Journal        *diskstore.Journal
+	JournalRecords [][]byte
+	// JobHook, when non-nil, runs at the start of every job execution on
+	// the owning shard worker. internal/faultinject injects worker crashes
+	// here; a hook panic fails the job terminally, it never kills the
+	// shard.
+	JobHook func(jobID string)
+	// FaultCounts, when non-nil, samples injected-fault totals by kind for
+	// the scalesim_faults_injected_total metric (faultinject.Plan.Counts).
+	FaultCounts func() map[string]int64
 }
 
 // Executor runs accepted jobs somewhere other than this process.
@@ -66,6 +93,19 @@ var (
 	errDraining  = errors.New("server is draining, not accepting jobs")
 	errQueueFull = errors.New("shard queue full, retry later")
 )
+
+// runFn executes a job; the returned payload is the rendered reports JSON.
+type runFn = func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error)
+
+// admissionError is a shed-load rejection that tells the client when to
+// come back (the 503's Retry-After header).
+type admissionError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *admissionError) Error() string { return e.err.Error() }
+func (e *admissionError) Unwrap() error { return e.err }
 
 // maxRequestBytes bounds request bodies; a topology of a few thousand
 // layers fits comfortably.
@@ -91,6 +131,11 @@ type Server struct {
 	order    []string // job IDs in accept order
 	draining bool
 	accepted int64
+	resumed  int64 // jobs re-enqueued from the journal at startup
+	// jobDurEWMA is the exponentially weighted average job duration in
+	// seconds (0 until the first job finishes); admission control scales it
+	// by the shard backlog to estimate queue wait.
+	jobDurEWMA float64
 
 	shards []*shard
 	wg     sync.WaitGroup
@@ -140,6 +185,11 @@ func New(opts Options) *Server {
 		s.shards = append(s.shards, sh)
 	}
 	s.initMetrics()
+	// Resume journaled jobs before the workers start draining queues, so
+	// recovered work keeps its accept order ahead of new requests.
+	if opts.Journal != nil {
+		s.resumeJournal(opts.JournalRecords)
+	}
 	for i, sh := range s.shards {
 		s.wg.Add(1)
 		go s.worker(i, sh)
@@ -156,16 +206,27 @@ func (s *Server) worker(id int, sh *shard) {
 	defer s.wg.Done()
 	for j := range sh.queue {
 		ctx, cancel := context.WithCancel(s.baseCtx)
+		if j.timeout > 0 {
+			// The per-job deadline: however wedged the workload is, the
+			// context expires, the facade unwinds, and the shard moves on.
+			dctx, dcancel := context.WithTimeout(ctx, j.timeout)
+			ctx = dctx
+			prev := cancel
+			cancel = func() { dcancel(); prev() }
+		}
 		if !j.tryStart(cancel) {
 			cancel()
+			s.journalTerminal(j)
 			s.jobsCompleted.With(string(j.State())).Inc()
 			continue
 		}
 		s.log.Info("job started", "job_id", j.ID(), "worker_id", id, "kind", j.kind)
 		ctx = telemetry.WithJobID(ctx, j.ID())
-		payload, cache, err := j.run(ctx, j)
+		payload, cache, err := s.runJob(ctx, j)
 		cancel()
 		j.finish(payload, cache, err)
+		s.journalTerminal(j)
+		s.observeJobDuration(j)
 		state := j.State()
 		s.jobsCompleted.With(string(state)).Inc()
 		if err != nil {
@@ -176,6 +237,39 @@ func (s *Server) worker(id int, sh *shard) {
 				"state", string(state), "payload_bytes", len(payload))
 		}
 	}
+}
+
+// runJob executes the job behind the fault hook and a panic barrier: a
+// panicking job — a workload bug or an injected worker crash — fails
+// terminally instead of taking down the shard worker, so the queue behind
+// it keeps draining.
+func (s *Server) runJob(ctx context.Context, j *Job) (payload []byte, cache scalesim.RunCacheStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	if hook := s.opts.JobHook; hook != nil {
+		hook(j.ID())
+	}
+	return j.run(ctx, j)
+}
+
+// observeJobDuration folds a finished job's wall time into the EWMA that
+// admission control uses to estimate queue wait.
+func (s *Server) observeJobDuration(j *Job) {
+	d := j.duration()
+	if d <= 0 {
+		return
+	}
+	const alpha = 0.3
+	s.mu.Lock()
+	if s.jobDurEWMA == 0 {
+		s.jobDurEWMA = d.Seconds()
+	} else {
+		s.jobDurEWMA = alpha*d.Seconds() + (1-alpha)*s.jobDurEWMA
+	}
+	s.mu.Unlock()
 }
 
 // Drain stops accepting new jobs, lets queued and running jobs finish, and
@@ -208,16 +302,40 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // enqueue registers the job and hands it to a shard: round-robin from the
 // accept counter, probing forward past full shards so one saturated lane
-// cannot block admission while others have room. Only when every shard is
-// full does the job bounce with 503.
-func (s *Server) enqueue(kind string, run func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error)) (*Job, error) {
+// cannot block admission while others have room. Admission is refused with
+// 503 + Retry-After when every shard is full, or when the estimated queue
+// wait exceeds the configured bound. Accepted jobs are journaled before
+// the 202 goes out, so an acknowledged job survives a crash.
+func (s *Server) enqueue(kind string, body []byte, timeout time.Duration, run runFn) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil, errDraining
 	}
+	if s.opts.MaxQueueWait > 0 {
+		if wait := s.queueWaitLocked(1); wait > s.opts.MaxQueueWait {
+			return nil, &admissionError{
+				err: fmt.Errorf("estimated queue wait %s exceeds the %s admission bound",
+					wait.Round(time.Millisecond), s.opts.MaxQueueWait),
+				retryAfter: wait - s.opts.MaxQueueWait,
+			}
+		}
+	}
+	j, err := s.placeLocked(kind, body, timeout, run)
+	if err != nil {
+		return nil, err
+	}
+	s.journalAcceptedLocked(j, body)
+	s.log.Info("job accepted", "job_id", j.id, "kind", kind, "worker_id", j.shard)
+	return j, nil
+}
+
+// placeLocked assigns the next job ID, probes for a shard with room and
+// registers the job. It does not journal; enqueue and resumeJournal layer
+// their own write-ahead records around it.
+func (s *Server) placeLocked(kind string, body []byte, timeout time.Duration, run runFn) (*Job, error) {
 	id := fmt.Sprintf("job-%06d", s.seq+1)
-	j := &Job{id: id, kind: kind, state: JobQueued, created: time.Now(), run: run}
+	j := &Job{id: id, kind: kind, state: JobQueued, created: time.Now(), timeout: timeout, run: run}
 	placed := false
 	for k := 0; k < len(s.shards); k++ {
 		shardIdx := (s.seq + k) % len(s.shards)
@@ -231,15 +349,44 @@ func (s *Server) enqueue(kind string, run func(context.Context, *Job) ([]byte, s
 		break
 	}
 	if !placed {
-		return nil, errQueueFull
+		return nil, &admissionError{err: errQueueFull, retryAfter: s.retryAfterLocked()}
 	}
 	s.seq++
 	s.accepted++
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.evictOldJobsLocked()
-	s.log.Info("job accepted", "job_id", id, "kind", kind, "worker_id", j.shard)
 	return j, nil
+}
+
+// queueWaitLocked estimates how long the n-th job enqueued now would wait:
+// current backlog spread across the shards, scaled by the average job
+// duration. Zero until the first job finishes — an idle server admits
+// everything.
+func (s *Server) queueWaitLocked(n int) time.Duration {
+	if s.jobDurEWMA == 0 {
+		return 0
+	}
+	queued := n - 1
+	for _, sh := range s.shards {
+		queued += len(sh.queue)
+	}
+	if queued <= 0 {
+		return 0
+	}
+	perShard := float64(queued) / float64(len(s.shards))
+	return time.Duration(perShard * s.jobDurEWMA * float64(time.Second))
+}
+
+// retryAfterLocked is the pace the server asks shed load to retry at: one
+// average job duration (one slot should free up by then), floored at a
+// second.
+func (s *Server) retryAfterLocked() time.Duration {
+	d := time.Duration(s.jobDurEWMA * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
 }
 
 // evictOldJobsLocked drops the oldest *terminal* jobs (and their retained
@@ -337,10 +484,19 @@ func enableForcedSparsity(cfg *scalesim.Config, forced bool) error {
 	return cfg.Validate()
 }
 
-// enqueueError maps queue-admission failures to HTTP status codes.
+// enqueueError maps queue-admission failures to HTTP status codes. Shed
+// load (full queues, exceeded wait bounds) carries Retry-After so clients
+// back off at the pace the server asks for rather than guessing.
 func enqueueError(w http.ResponseWriter, err error) {
-	code := http.StatusServiceUnavailable
-	httpError(w, code, err)
+	var adm *admissionError
+	if errors.As(err, &adm) {
+		secs := int64((adm.retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	httpError(w, http.StatusServiceUnavailable, err)
 }
 
 // parallelism resolves a request's per-job pool width against the server
@@ -365,43 +521,85 @@ func (s *Server) executorRun(kind string, body []byte) func(context.Context, *Jo
 	}
 }
 
-// handleRun enqueues a run job: one topology simulated under one
-// configuration.
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+// handleEnqueue is the shared accept path of the three job endpoints:
+// validate the body, build the run closure, admit, journal, 202.
+func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request, kind string) {
 	body, err := readBody(w, r)
 	if err != nil {
 		requestError(w, err)
 		return
 	}
-	var req RunRequest
-	if err := decodeRequest(body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	cfg, err := DecodeConfig(req.Config)
+	run, timeout, err := s.buildRun(kind, body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	topo, forcedSparse, err := req.Topology.ToTopology()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := enableForcedSparsity(&cfg, forcedSparse); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	run := s.executorRun("run", body)
-	if run == nil {
-		run = s.localRun(cfg, topo, s.parallelism(req.Parallelism))
-	}
-	job, err := s.enqueue("run", run)
+	job, err := s.enqueue(kind, body, timeout, run)
 	if err != nil {
 		enqueueError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.dto())
+}
+
+// buildRun validates body for kind and returns the job's run closure plus
+// its resolved execution deadline. It is the single constructor used by
+// both live requests and journal resume, so a restarted server re-checks
+// recovered specs under exactly the request path's rules.
+func (s *Server) buildRun(kind string, body []byte) (runFn, time.Duration, error) {
+	var (
+		run      runFn
+		timeoutS float64
+		err      error
+	)
+	switch kind {
+	case "run":
+		run, timeoutS, err = s.buildRunJob(body)
+	case "sweep":
+		run, timeoutS, err = s.buildSweepJob(body)
+	case "explore":
+		run, timeoutS, err = s.buildExploreJob(body)
+	default:
+		return nil, 0, fmt.Errorf("unknown job kind %q", kind)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	timeout := s.opts.JobTimeout
+	if timeoutS > 0 {
+		timeout = time.Duration(timeoutS * float64(time.Second))
+	}
+	return run, timeout, nil
+}
+
+// handleRun enqueues a run job: one topology simulated under one
+// configuration.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.handleEnqueue(w, r, "run")
+}
+
+// buildRunJob validates a run request body and builds its closure.
+func (s *Server) buildRunJob(body []byte) (runFn, float64, error) {
+	var req RunRequest
+	if err := decodeRequest(body, &req); err != nil {
+		return nil, 0, err
+	}
+	cfg, err := DecodeConfig(req.Config)
+	if err != nil {
+		return nil, 0, err
+	}
+	topo, forcedSparse, err := req.Topology.ToTopology()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := enableForcedSparsity(&cfg, forcedSparse); err != nil {
+		return nil, 0, err
+	}
+	run := s.executorRun("run", body)
+	if run == nil {
+		run = s.localRun(cfg, topo, s.parallelism(req.Parallelism))
+	}
+	return run, req.TimeoutS, nil
 }
 
 // localRun builds the in-process run-job closure.
@@ -428,36 +626,31 @@ func (s *Server) localRun(cfg scalesim.Config, topo *scalesim.Topology, par int)
 // handleSweep enqueues a sweep job: many (config, topology) points on one
 // worker pool behind the shared cache.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(w, r)
-	if err != nil {
-		requestError(w, err)
-		return
-	}
+	s.handleEnqueue(w, r, "sweep")
+}
+
+// buildSweepJob validates a sweep request body and builds its closure.
+func (s *Server) buildSweepJob(body []byte) (runFn, float64, error) {
 	var req SweepRequest
 	if err := decodeRequest(body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, 0, err
 	}
 	if len(req.Points) == 0 {
-		httpError(w, http.StatusBadRequest, errors.New("sweep: empty points list"))
-		return
+		return nil, 0, errors.New("sweep: empty points list")
 	}
 	pts := make([]scalesim.SweepPoint, len(req.Points))
 	for i := range req.Points {
 		p := &req.Points[i]
 		cfg, err := DecodeConfig(p.Config)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("points[%d]: %w", i, err))
-			return
+			return nil, 0, fmt.Errorf("points[%d]: %w", i, err)
 		}
 		topo, forcedSparse, err := p.Topology.ToTopology()
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("points[%d]: %w", i, err))
-			return
+			return nil, 0, fmt.Errorf("points[%d]: %w", i, err)
 		}
 		if err := enableForcedSparsity(&cfg, forcedSparse); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("points[%d]: %w", i, err))
-			return
+			return nil, 0, fmt.Errorf("points[%d]: %w", i, err)
 		}
 		name := p.Name
 		if name == "" {
@@ -469,12 +662,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if run == nil {
 		run = s.localSweep(pts, s.parallelism(req.Parallelism))
 	}
-	job, err := s.enqueue("sweep", run)
-	if err != nil {
-		enqueueError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, job.dto())
+	return run, req.TimeoutS, nil
 }
 
 // localSweep builds the in-process sweep-job closure.
@@ -513,38 +701,32 @@ func (s *Server) localSweep(pts []scalesim.SweepPoint, par int) func(context.Con
 // handleExplore enqueues a design-space exploration job. Space and
 // objective specs use the explore CLI's string grammar.
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(w, r)
-	if err != nil {
-		requestError(w, err)
-		return
-	}
+	s.handleEnqueue(w, r, "explore")
+}
+
+// buildExploreJob validates an explore request body and builds its closure.
+func (s *Server) buildExploreJob(body []byte) (runFn, float64, error) {
 	var req ExploreRequest
 	if err := decodeRequest(body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, 0, err
 	}
 	cfg, err := DecodeConfig(req.Config)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, 0, err
 	}
 	topo, forcedSparse, err := req.Topology.ToTopology()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, 0, err
 	}
 	if err := enableForcedSparsity(&cfg, forcedSparse); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, 0, err
 	}
 	if req.Space == "" {
-		httpError(w, http.StatusBadRequest, errors.New("explore: missing space"))
-		return
+		return nil, 0, errors.New("explore: missing space")
 	}
 	space, err := scalesim.ParseSpace(req.Space)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, 0, err
 	}
 	objSpec := req.Objectives
 	if objSpec == "" {
@@ -552,8 +734,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	objs, err := scalesim.ParseObjectives(objSpec)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, 0, err
 	}
 	strategy := scalesim.AutoSearch
 	if req.Strategy != "" {
@@ -561,9 +742,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		switch strategy {
 		case scalesim.GridSearch, scalesim.RandomSearch, scalesim.EvolutionSearch, scalesim.AutoSearch:
 		default:
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("explore: unknown strategy %q (valid: grid, random, evolve, auto)", req.Strategy))
-			return
+			return nil, 0, fmt.Errorf("explore: unknown strategy %q (valid: grid, random, evolve, auto)", req.Strategy)
 		}
 	}
 	budget := req.Budget
@@ -582,12 +761,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if run == nil {
 		run = s.localExplore(cfg, topo, space, objs, strategy, budget, seed, batch, s.parallelism(req.Parallelism))
 	}
-	job, err := s.enqueue("explore", run)
-	if err != nil {
-		enqueueError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, job.dto())
+	return run, req.TimeoutS, nil
 }
 
 // localExplore builds the in-process explore-job closure.
@@ -666,6 +840,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if !j.requestCancel() {
 		httpError(w, http.StatusConflict, fmt.Errorf("job %s already %s", j.ID(), j.State()))
 		return
+	}
+	// A queued job cancels immediately; record the terminal state now so a
+	// restart does not resurrect it. Running jobs are journaled by their
+	// worker when they unwind.
+	if j.State().Terminal() {
+		s.journalTerminal(j)
 	}
 	writeJSON(w, http.StatusOK, j.dto())
 }

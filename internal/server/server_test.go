@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -370,7 +371,7 @@ func waitState(t *testing.T, j *Job, want JobState) {
 func blockingJob(t *testing.T, s *Server) (*Job, chan struct{}) {
 	t.Helper()
 	release := make(chan struct{})
-	j, err := s.enqueue("run", func(ctx context.Context, _ *Job) ([]byte, scalesim.RunCacheStats, error) {
+	j, err := s.enqueue("run", nil, 0, func(ctx context.Context, _ *Job) ([]byte, scalesim.RunCacheStats, error) {
 		select {
 		case <-release:
 			return []byte(`{}`), scalesim.RunCacheStats{}, nil
@@ -757,9 +758,9 @@ func TestServerShardProbeSkipsFullShard(t *testing.T) {
 	}()
 
 	// Both queues full: admission must fail whatever the probe start.
-	if _, err := s.enqueue("run", func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
+	if _, err := s.enqueue("run", nil, 0, func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
 		return nil, scalesim.RunCacheStats{}, nil
-	}); err != errQueueFull {
+	}); !errors.Is(err, errQueueFull) {
 		t.Fatalf("enqueue with both shards full = %v, want errQueueFull", err)
 	}
 
@@ -831,7 +832,7 @@ func TestServerJobIDsAreSequential(t *testing.T) {
 		s.Drain(ctx) //nolint:errcheck
 	}()
 	for i := 0; i < 3; i++ {
-		j, err := s.enqueue("run", func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
+		j, err := s.enqueue("run", nil, 0, func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
 			return []byte(`{}`), scalesim.RunCacheStats{}, nil
 		})
 		if err != nil {

@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"log/slog"
 	"math"
 	"path/filepath"
+	"sync"
 
 	"scalesim/internal/diskstore"
 	"scalesim/internal/simcache"
@@ -35,6 +37,9 @@ type StoreStats struct {
 	// covers; SnapshotUnix is when it was written (Unix seconds).
 	SnapshotUpTo int64
 	SnapshotUnix int64
+	// IOErrors counts the store's internal read/write failures since open;
+	// the degradation ladder (StoreDegraded) trips on consecutive failures.
+	IOErrors int64
 }
 
 // AttachStore opens (creating if needed) a persistent result store in dir
@@ -50,6 +55,14 @@ type StoreStats struct {
 // is a no-op; attaching a different one is an error (detach with
 // CloseStore first).
 func (c *Cache) AttachStore(dir string, maxBytes int64) error {
+	return c.AttachStoreFS(dir, maxBytes, nil)
+}
+
+// AttachStoreFS is AttachStore through an explicit diskstore filesystem —
+// the seam internal/faultinject substitutes to exercise the store's
+// recovery and degradation paths deterministically. A nil fs selects the
+// real OS.
+func (c *Cache) AttachStoreFS(dir string, maxBytes int64, fs diskstore.FS) error {
 	dir = filepath.Clean(dir)
 	c.storeMu.Lock()
 	defer c.storeMu.Unlock()
@@ -59,13 +72,14 @@ func (c *Cache) AttachStore(dir string, maxBytes int64) error {
 		}
 		return fmt.Errorf("scalesim: cache already has store %q attached", c.storeDir)
 	}
-	s, err := diskstore.Open(dir, diskstore.Options{MaxBytes: maxBytes})
+	s, err := diskstore.Open(dir, diskstore.Options{MaxBytes: maxBytes, FS: fs})
 	if err != nil {
 		return err
 	}
 	c.store = s
 	c.storeDir = dir
-	c.c.SetTier(storeTier{s: s}, storeCodec{})
+	c.storeDegraded.Store(false)
+	c.c.SetTier(&storeTier{s: s, c: c}, storeCodec{})
 	return nil
 }
 
@@ -105,7 +119,29 @@ func (c *Cache) CloseStore() error {
 	c.c.SetTier(nil, nil)
 	err := c.store.Close()
 	c.store, c.storeDir = nil, ""
+	c.storeDegraded.Store(false)
 	return err
+}
+
+// StoreDegraded reports whether the degradation ladder has detached the
+// attached store: repeated I/O errors mid-serve demoted the cache to
+// memory-only operation (the scalesim_store_degraded gauge).
+func (c *Cache) StoreDegraded() bool { return c.storeDegraded.Load() }
+
+// degradeStore detaches a dying store mid-serve: lookups and writes revert
+// to memory-only instead of paying for (and silently dropping) every tier
+// operation against a failing disk. The store handle stays open so stats
+// remain readable and CloseStore can still salvage a snapshot.
+func (c *Cache) degradeStore(s *diskstore.Store) {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if c.store != s || c.storeDegraded.Load() {
+		return // already detached or replaced
+	}
+	c.c.SetTier(nil, nil)
+	c.storeDegraded.Store(true)
+	slog.Warn("scalesim: result store degraded: detaching after repeated I/O errors, continuing memory-only",
+		"dir", c.storeDir, "io_errors", s.IOErrors())
 }
 
 // resolveStore applies a WithStore directory after all options are parsed:
@@ -121,14 +157,56 @@ func (o *options) resolveStore() error {
 	return o.cache.AttachStore(o.storeDir, o.storeBytes)
 }
 
+// storeFailThreshold is the degradation ladder's trip point: this many
+// consecutive tier operations hitting internal store I/O errors mean the
+// disk is dying, not hiccuping, and the store detaches itself.
+const storeFailThreshold = 3
+
 // storeTier adapts diskstore.Store to the simcache.Tier contract
 // (best-effort: write errors are dropped, the store's own stats record
-// lookup outcomes).
-type storeTier struct{ s *diskstore.Store }
+// lookup outcomes). It also runs the degradation ladder: each operation
+// checks whether the store accrued new I/O errors, and a run of
+// storeFailThreshold consecutive failing operations detaches the tier.
+type storeTier struct {
+	s *diskstore.Store
+	c *Cache
 
-func (t storeTier) GetBlob(k simcache.Key) ([]byte, bool) { return t.s.Get(k) }
-func (t storeTier) PutBlob(k simcache.Key, payload []byte) {
+	mu     sync.Mutex
+	lastIO int64 // store IOErrors watermark after the previous operation
+	fails  int   // consecutive operations that accrued I/O errors
+}
+
+func (t *storeTier) GetBlob(k simcache.Key) ([]byte, bool) {
+	v, ok := t.s.Get(k)
+	t.observe()
+	return v, ok
+}
+
+func (t *storeTier) PutBlob(k simcache.Key, payload []byte) {
 	_ = t.s.Put(k, payload)
+	t.observe()
+}
+
+// observe advances the degradation ladder after a tier operation. Only
+// internal I/O errors count — a clean miss or a duplicate put is healthy —
+// and any clean operation resets the run, so the ladder trips on a dying
+// disk, not on sporadic bit rot.
+func (t *storeTier) observe() {
+	io := t.s.IOErrors()
+	t.mu.Lock()
+	failed := io > t.lastIO
+	t.lastIO = io
+	if !failed {
+		t.fails = 0
+		t.mu.Unlock()
+		return
+	}
+	t.fails++
+	trip := t.fails >= storeFailThreshold
+	t.mu.Unlock()
+	if trip {
+		t.c.degradeStore(t.s)
+	}
 }
 
 // Payload kind tags. The simcache.SchemaVersion mixed into every key —
