@@ -488,11 +488,11 @@ func BenchmarkExploreCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f, err := scalesim.Explore(ctx, cfg, topo, space,
-			scalesim.WithObjectives(scalesim.CyclesObjective(), scalesim.DRAMTrafficObjective()),
-			scalesim.WithSearchStrategy(scalesim.EvolutionSearch),
-			scalesim.WithEvalBudget(6),
-			scalesim.WithBatchSize(2), // 3 generations
-			scalesim.WithSeed(1),
+			scalesim.WithExploreObjectives(scalesim.CyclesObjective(), scalesim.DRAMTrafficObjective()),
+			scalesim.WithExploreStrategy(scalesim.EvolutionSearch),
+			scalesim.WithExploreBudget(6),
+			scalesim.WithExploreBatchSize(2), // 3 generations
+			scalesim.WithExploreSeed(1),
 			scalesim.WithExploreParallelism(1),
 		)
 		if err != nil {
@@ -503,6 +503,48 @@ func BenchmarkExploreCached(b *testing.B) {
 		}
 		b.ReportMetric(float64(f.CacheStats.Hits), "cache_hits")
 		b.ReportMetric(float64(f.CacheStats.Misses), "cache_misses")
+	}
+}
+
+// BenchmarkExploreScreened cracks a 100 000-candidate space with the
+// two-phase fidelity search: the whole grid is screened with closed-form
+// Analytical evaluations and only the top candidates are promoted to the
+// event-driven tier. This is the workload the fidelity ladder exists for
+// — the single-tier equivalent would be ~6 000× more event simulations.
+func BenchmarkExploreScreened(b *testing.B) {
+	topo := &scalesim.Topology{Name: "screen_gemm", Layers: []scalesim.Layer{
+		{Name: "fc1", Kind: scalesim.GEMM, M: 128, N: 128, K: 256},
+		{Name: "fc2", Kind: scalesim.GEMM, M: 128, N: 64, K: 128},
+	}}
+	space, err := scalesim.ParseSpace("array_rows=4..103; array_cols=4..103; bandwidth=1..10")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if space.Size() != 100_000 {
+		b.Fatalf("space size %d, want 100000", space.Size())
+	}
+	cfg := scalesim.DefaultConfig()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := scalesim.Explore(ctx, cfg, topo, space,
+			scalesim.WithExploreObjectives(scalesim.CyclesObjective(), scalesim.UtilizationObjective()),
+			scalesim.WithExploreStrategy(scalesim.GridSearch),
+			scalesim.WithExploreBudget(100_000),
+			scalesim.WithExploreBatchSize(8192),
+			scalesim.WithPromoteTopK(16),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Screened != 100_000 {
+			b.Fatalf("screened %d of 100000 candidates", f.Screened)
+		}
+		if f.Promoted == 0 || len(f.Points) == 0 {
+			b.Fatalf("screening promoted %d candidates, frontier %d", f.Promoted, len(f.Points))
+		}
+		b.ReportMetric(float64(f.Screened), "screened")
+		b.ReportMetric(float64(f.Promoted), "promoted")
 	}
 }
 

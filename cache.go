@@ -112,8 +112,12 @@ func newLayerCache(c *Cache, cfg *Config, o *options) *layerCache {
 		return nil
 	}
 	h := simcache.NewHasher()
-	h.String("scalesim/layer/v1")
+	// v2: the simulation fidelity joined the fingerprint — an Analytical
+	// result must never answer an EventDriven or CycleAccurate request
+	// (and vice versa), within a process or across the persistent store.
+	h.String("scalesim/layer/v2")
 	h.Value(fingerprintConfig(cfg))
+	h.Int(int64(o.fidelity))
 	h.Value(o.ert)
 	memRow := false
 	for _, st := range o.stages {

@@ -67,6 +67,7 @@ func run(args []string) error {
 		list     = fs.Bool("list", false, "list builtin topologies and exit")
 		traces   = fs.Bool("traces", false, "write cycle-accurate SRAM/DRAM trace CSVs")
 		traceDir = fs.String("trace", "", "write a Chrome trace-event JSON span trace to this directory (open at ui.perfetto.dev) and print the wall-time profile")
+		fidelity = fs.String("fidelity", "", "simulation fidelity: analytical, event (default) or cycle")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,8 +112,13 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	fid, err := scalesim.ParseFidelity(*fidelity)
+	if err != nil {
+		return err
+	}
+
 	sim := scalesim.New(cfg)
-	var runOpts []scalesim.Option
+	runOpts := []scalesim.Option{scalesim.WithFidelity(fid)}
 	if *traceDir != "" {
 		runOpts = append(runOpts, scalesim.WithTrace(*traceDir))
 	}
@@ -189,6 +195,9 @@ func runExplore(args []string) error {
 		seed       = fs.Int64("seed", 1, "random seed for the stochastic strategies")
 		batch      = fs.Int("batch", 8, "candidates per evaluation batch (generation size)")
 		par        = fs.Int("parallelism", 0, "worker pool width per batch (0 = GOMAXPROCS)")
+		fidelity   = fs.String("fidelity", "", "accurate simulation fidelity: analytical, event (default) or cycle")
+		promote    = fs.Int("promote", 0, "screen the space analytically, then promote the front plus the top K candidates to the accurate tier")
+		promoteMg  = fs.Float64("promote-margin", 0, "with screening, also promote candidates within this relative margin of the analytical front (e.g. 0.1)")
 		outDir     = fs.String("outdir", ".", "directory for FRONTIER.csv and FRONTIER.json")
 		progress   = fs.Bool("progress", false, "print per-candidate progress to stderr")
 		memory     = fs.Bool("memory", false, "enable the cycle-accurate DRAM model in the base config")
@@ -240,13 +249,21 @@ func runExplore(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	fid, err := scalesim.ParseFidelity(*fidelity)
+	if err != nil {
+		return err
+	}
+
 	opts := []scalesim.ExploreOption{
-		scalesim.WithObjectives(objs...),
-		scalesim.WithSearchStrategy(scalesim.SearchStrategy(*strategy)),
-		scalesim.WithEvalBudget(*budget),
-		scalesim.WithBatchSize(*batch),
-		scalesim.WithSeed(*seed),
+		scalesim.WithExploreObjectives(objs...),
+		scalesim.WithExploreStrategy(scalesim.SearchStrategy(*strategy)),
+		scalesim.WithExploreBudget(*budget),
+		scalesim.WithExploreBatchSize(*batch),
+		scalesim.WithExploreSeed(*seed),
 		scalesim.WithExploreParallelism(*par),
+		scalesim.WithExploreFidelity(fid),
+		scalesim.WithPromoteTopK(*promote),
+		scalesim.WithPromoteMargin(*promoteMg),
 	}
 	if *progress {
 		opts = append(opts, scalesim.WithExploreProgress(func(p scalesim.ExploreProgress) {
@@ -254,7 +271,7 @@ func runExplore(args []string) error {
 			if p.Err != nil {
 				status = "infeasible: " + p.Err.Error()
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] gen %d %s (%s)\n", p.Evaluated, p.Budget, p.Generation, p.Point, status)
+			fmt.Fprintf(os.Stderr, "[%d/%d] gen %d %s %s (%s)\n", p.Evaluated, p.Budget, p.Generation, p.Fidelity, p.Point, status)
 		}))
 	}
 	frontier, err := scalesim.Explore(ctx, cfg, topo, sp, opts...)
@@ -262,8 +279,12 @@ func runExplore(args []string) error {
 		return err
 	}
 
-	fmt.Printf("strategy=%s seed=%d evaluated=%d infeasible=%d cache_hits=%d cache_misses=%d\n",
-		frontier.Strategy, frontier.Seed, frontier.Evaluated, frontier.Infeasible,
+	fmt.Printf("strategy=%s seed=%d fidelity=%s evaluated=%d infeasible=%d", frontier.Strategy,
+		frontier.Seed, frontier.Fidelity, frontier.Evaluated, frontier.Infeasible)
+	if frontier.Screened > 0 {
+		fmt.Printf(" screened=%d promoted=%d", frontier.Screened, frontier.Promoted)
+	}
+	fmt.Printf(" cache_hits=%d cache_misses=%d\n",
 		frontier.CacheStats.Hits, frontier.CacheStats.Misses)
 	fmt.Printf("frontier: %d non-dominated point(s)\n", len(frontier.Points))
 	for _, p := range frontier.Points {

@@ -40,11 +40,11 @@ func main() {
 	fmt.Printf("space: %d candidate designs, budget 24 evaluations\n\n", space.Size())
 
 	frontier, err := scalesim.Explore(context.Background(), cfg, topo, space,
-		scalesim.WithObjectives(scalesim.CyclesObjective(), scalesim.EnergyObjective()),
-		scalesim.WithSearchStrategy(scalesim.EvolutionSearch),
-		scalesim.WithEvalBudget(24),
-		scalesim.WithBatchSize(6),
-		scalesim.WithSeed(42),
+		scalesim.WithExploreObjectives(scalesim.CyclesObjective(), scalesim.EnergyObjective()),
+		scalesim.WithExploreStrategy(scalesim.EvolutionSearch),
+		scalesim.WithExploreBudget(24),
+		scalesim.WithExploreBatchSize(6),
+		scalesim.WithExploreSeed(42),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -22,9 +22,15 @@ import (
 //
 //	space, _ := scalesim.ParseSpace("array=16..128:pow2; dataflow=os,ws,is")
 //	frontier, err := scalesim.Explore(ctx, scalesim.DefaultConfig(), topo, space,
-//		scalesim.WithObjectives(scalesim.CyclesObjective(), scalesim.EnergyObjective()),
-//		scalesim.WithEvalBudget(64), scalesim.WithSeed(1))
+//		scalesim.WithExploreObjectives(scalesim.CyclesObjective(), scalesim.EnergyObjective()),
+//		scalesim.WithExploreBudget(64), scalesim.WithExploreSeed(1))
 //	frontier.WriteAll("out") // FRONTIER.csv + FRONTIER.json
+//
+// Million-point spaces are cracked with the two-phase screen-and-promote
+// loop: WithPromoteTopK / WithPromoteMargin first evaluate the whole space
+// at the Analytical fidelity tier (closed forms, microseconds per point),
+// then promote only the frontier-adjacent candidates to the accurate tier
+// and measure the analytical-vs-accurate error of each promoted point.
 //
 // Exploration is deterministic: a fixed seed yields a byte-identical
 // frontier at any parallelism.
@@ -159,34 +165,38 @@ const (
 // ExploreProgress reports one evaluated candidate to a WithExploreProgress
 // callback.
 type ExploreProgress struct {
-	Generation int    // 1-based batch number
-	Evaluated  int    // candidates finished so far, including this one
-	Budget     int    // maximum evaluations for the search
-	Point      string // candidate label ("array=32,dataflow=ws")
-	Err        error  // non-nil when the candidate was infeasible
+	Generation int      // 1-based batch number within the phase
+	Evaluated  int      // candidates finished so far in this phase, including this one
+	Budget     int      // maximum evaluations for this phase
+	Point      string   // candidate label ("array=32,dataflow=ws")
+	Fidelity   Fidelity // tier the candidate was evaluated at
+	Err        error    // non-nil when the candidate was infeasible
 }
 
 // exploreOptions collects the Explore tunables.
 type exploreOptions struct {
-	objectives  []Objective
-	strategy    SearchStrategy
-	searcher    Searcher
-	budget      int
-	batch       int
-	seed        int64
-	parallelism int
-	cache       *Cache
-	progress    func(ExploreProgress)
-	traceOn     bool
-	traceDir    string
+	objectives    []Objective
+	strategy      SearchStrategy
+	searcher      Searcher
+	budget        int
+	batch         int
+	seed          int64
+	parallelism   int
+	cache         *Cache
+	progress      func(ExploreProgress)
+	traceOn       bool
+	traceDir      string
+	fidelity      Fidelity
+	promoteTopK   int
+	promoteMargin float64
 }
 
 // ExploreOption configures one Explore call.
 type ExploreOption func(*exploreOptions)
 
-// WithObjectives sets the exploration objectives (default: CyclesObjective
-// alone). Objective names must be unique.
-func WithObjectives(objs ...Objective) ExploreOption {
+// WithExploreObjectives sets the exploration objectives (default:
+// CyclesObjective alone). Objective names must be unique.
+func WithExploreObjectives(objs ...Objective) ExploreOption {
 	return func(o *exploreOptions) {
 		if len(objs) > 0 {
 			o.objectives = objs
@@ -194,22 +204,24 @@ func WithObjectives(objs ...Objective) ExploreOption {
 	}
 }
 
-// WithSearchStrategy selects a built-in search strategy (default
+// WithExploreStrategy selects a built-in search strategy (default
 // AutoSearch).
-func WithSearchStrategy(s SearchStrategy) ExploreOption {
+func WithExploreStrategy(s SearchStrategy) ExploreOption {
 	return func(o *exploreOptions) { o.strategy = s }
 }
 
-// WithSearcher injects a custom candidate-generation strategy, overriding
-// WithSearchStrategy.
-func WithSearcher(s Searcher) ExploreOption {
+// WithExploreSearcher injects a custom candidate-generation strategy,
+// overriding WithExploreStrategy.
+func WithExploreSearcher(s Searcher) ExploreOption {
 	return func(o *exploreOptions) { o.searcher = s }
 }
 
-// WithEvalBudget bounds the search to at most n candidate evaluations
+// WithExploreBudget bounds the search to at most n candidate evaluations
 // (default 256). Infeasible candidates count: the budget bounds simulation
-// work, not frontier size.
-func WithEvalBudget(n int) ExploreOption {
+// work, not frontier size. With screening enabled the budget bounds the
+// analytical screen; promotion adds at most PromoteTopK plus the
+// margin-qualified candidates on top.
+func WithExploreBudget(n int) ExploreOption {
 	return func(o *exploreOptions) {
 		if n > 0 {
 			o.budget = n
@@ -217,9 +229,9 @@ func WithEvalBudget(n int) ExploreOption {
 	}
 }
 
-// WithBatchSize sets how many candidates are evaluated per Sweep batch —
-// the generation size of adaptive strategies (default 8).
-func WithBatchSize(n int) ExploreOption {
+// WithExploreBatchSize sets how many candidates are evaluated per Sweep
+// batch — the generation size of adaptive strategies (default 8).
+func WithExploreBatchSize(n int) ExploreOption {
 	return func(o *exploreOptions) {
 		if n > 0 {
 			o.batch = n
@@ -227,11 +239,83 @@ func WithBatchSize(n int) ExploreOption {
 	}
 }
 
-// WithSeed seeds the stochastic strategies (default 1). A fixed seed makes
-// the whole exploration deterministic at any parallelism.
-func WithSeed(seed int64) ExploreOption {
+// WithExploreSeed seeds the stochastic strategies (default 1). A fixed
+// seed makes the whole exploration deterministic at any parallelism.
+func WithExploreSeed(seed int64) ExploreOption {
 	return func(o *exploreOptions) { o.seed = seed }
 }
+
+// WithExploreFidelity sets the accurate simulation tier candidates are
+// evaluated at (default EventDriven) — the tier promoted candidates reach
+// when screening is enabled, or the tier of every evaluation otherwise.
+// The Analytical screen itself is not configurable.
+func WithExploreFidelity(f Fidelity) ExploreOption {
+	return func(o *exploreOptions) { o.fidelity = f }
+}
+
+// WithPromoteTopK enables two-phase screen-and-promote exploration: the
+// whole budget is first evaluated at the Analytical tier, then the
+// analytical Pareto front plus the k best-ranked candidates (by
+// minimization-sense objective keys) are promoted to the accurate tier.
+// The frontier is computed from accurate results only; every promoted
+// point records its measured analytical-vs-accurate error. Setting k to
+// at least the space size promotes every feasible candidate, reproducing
+// the single-tier frontier exactly.
+func WithPromoteTopK(k int) ExploreOption {
+	return func(o *exploreOptions) {
+		if k > 0 {
+			o.promoteTopK = k
+		}
+	}
+}
+
+// WithPromoteMargin enables screening like WithPromoteTopK and widens the
+// promotion set to every candidate within relative margin m of the
+// analytical front: a candidate is promoted when shrinking each of its
+// objective keys by m·|key| leaves it non-dominated. m of 0.1 promotes
+// everything within ~10% of the front. Composes with WithPromoteTopK (the
+// union is promoted).
+func WithPromoteMargin(m float64) ExploreOption {
+	return func(o *exploreOptions) {
+		if m > 0 {
+			o.promoteMargin = m
+		}
+	}
+}
+
+// Deprecated aliases for the uniformly-named ExploreOption constructors.
+// They forward verbatim and will keep working; new code should use the
+// WithExplore* forms.
+
+// WithObjectives sets the exploration objectives.
+//
+// Deprecated: use WithExploreObjectives.
+func WithObjectives(objs ...Objective) ExploreOption { return WithExploreObjectives(objs...) }
+
+// WithSearchStrategy selects a built-in search strategy.
+//
+// Deprecated: use WithExploreStrategy.
+func WithSearchStrategy(s SearchStrategy) ExploreOption { return WithExploreStrategy(s) }
+
+// WithSearcher injects a custom candidate-generation strategy.
+//
+// Deprecated: use WithExploreSearcher.
+func WithSearcher(s Searcher) ExploreOption { return WithExploreSearcher(s) }
+
+// WithEvalBudget bounds the search to at most n candidate evaluations.
+//
+// Deprecated: use WithExploreBudget.
+func WithEvalBudget(n int) ExploreOption { return WithExploreBudget(n) }
+
+// WithBatchSize sets how many candidates are evaluated per Sweep batch.
+//
+// Deprecated: use WithExploreBatchSize.
+func WithBatchSize(n int) ExploreOption { return WithExploreBatchSize(n) }
+
+// WithSeed seeds the stochastic strategies.
+//
+// Deprecated: use WithExploreSeed.
+func WithSeed(seed int64) ExploreOption { return WithExploreSeed(seed) }
 
 // WithExploreParallelism bounds the worker pool each evaluation batch runs
 // on (default GOMAXPROCS), like WithParallelism for Sweep.
@@ -279,6 +363,13 @@ type FrontierPoint struct {
 	Objectives []float64
 	// Result is the full simulation result of the design.
 	Result *Result
+	// Fidelity is the simulation tier that produced Objectives and Result.
+	Fidelity Fidelity
+	// ScreenError maps objective name to the measured relative error
+	// |accurate − analytical| / max(|accurate|, ε) between this point's
+	// analytical screen values and its promoted accurate values. Nil
+	// unless the point went through screen-and-promote.
+	ScreenError map[string]float64
 }
 
 // Frontier is the outcome of an exploration: the Pareto-optimal designs
@@ -293,10 +384,19 @@ type Frontier struct {
 	// Strategy and Seed record how the search ran.
 	Strategy string
 	Seed     int64
-	// Evaluated counts simulated candidates; Infeasible counts the subset
-	// whose configuration was rejected or whose simulation failed.
+	// Fidelity is the accurate tier of the search — the tier frontier
+	// points were evaluated at (WithExploreFidelity, default EventDriven).
+	Fidelity Fidelity
+	// Evaluated counts candidates simulated at the accurate tier;
+	// Infeasible counts candidates (at either tier) whose configuration
+	// was rejected or whose simulation failed.
 	Evaluated  int
 	Infeasible int
+	// Screened counts Analytical-tier screening evaluations (0 unless
+	// screening was enabled); Promoted counts the screened candidates
+	// promoted to the accurate tier.
+	Screened int
+	Promoted int
 	// CacheStats aggregates layer-cache hits and misses across every
 	// evaluation of the search.
 	CacheStats RunCacheStats
@@ -312,7 +412,8 @@ const (
 func (f *Frontier) CSVReport() *Report {
 	rows := make([]report.FrontierRow, len(f.Points))
 	for i, p := range f.Points {
-		rows[i] = report.FrontierRow{Name: p.Name, AxisValues: p.AxisValues, Objectives: p.Objectives}
+		rows[i] = report.FrontierRow{Name: p.Name, AxisValues: p.AxisValues,
+			Objectives: p.Objectives, Fidelity: p.Fidelity.String()}
 	}
 	return &Report{name: FrontierCSVFile, write: func(w io.Writer) error {
 		return report.WriteFrontier(w, f.AxisNames, f.ObjectiveNames, rows)
@@ -323,17 +424,22 @@ func (f *Frontier) CSVReport() *Report {
 type frontierJSON struct {
 	Strategy   string              `json:"strategy"`
 	Seed       int64               `json:"seed"`
+	Fidelity   string              `json:"fidelity"`
 	Evaluated  int                 `json:"evaluated"`
 	Infeasible int                 `json:"infeasible"`
+	Screened   int                 `json:"screened,omitempty"`
+	Promoted   int                 `json:"promoted,omitempty"`
 	Axes       []string            `json:"axes"`
 	Objectives []string            `json:"objectives"`
 	Points     []frontierPointJSON `json:"points"`
 }
 
 type frontierPointJSON struct {
-	Name       string    `json:"name"`
-	Axes       []string  `json:"axes"`
-	Objectives []float64 `json:"objectives"`
+	Name        string             `json:"name"`
+	Axes        []string           `json:"axes"`
+	Objectives  []float64          `json:"objectives"`
+	Fidelity    string             `json:"fidelity"`
+	ScreenError map[string]float64 `json:"screen_error,omitempty"`
 }
 
 // JSONReport renders the frontier as FRONTIER.json.
@@ -342,14 +448,18 @@ func (f *Frontier) JSONReport() *Report {
 		out := frontierJSON{
 			Strategy:   f.Strategy,
 			Seed:       f.Seed,
+			Fidelity:   f.Fidelity.String(),
 			Evaluated:  f.Evaluated,
 			Infeasible: f.Infeasible,
+			Screened:   f.Screened,
+			Promoted:   f.Promoted,
 			Axes:       f.AxisNames,
 			Objectives: f.ObjectiveNames,
 			Points:     make([]frontierPointJSON, len(f.Points)),
 		}
 		for i, p := range f.Points {
-			out.Points[i] = frontierPointJSON{Name: p.Name, Axes: p.AxisValues, Objectives: p.Objectives}
+			out.Points[i] = frontierPointJSON{Name: p.Name, Axes: p.AxisValues,
+				Objectives: p.Objectives, Fidelity: p.Fidelity.String(), ScreenError: p.ScreenError}
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -381,12 +491,33 @@ func (f *Frontier) WriteAll(dir string) error {
 
 // evaluation records one feasible candidate's outcome during a search.
 type evaluation struct {
-	label  string
-	cfg    Config
-	values []string  // per-axis settings, in axis order
-	raw    []float64 // objective values as reported
-	keys   []float64 // minimization-sense keys for dominance
-	result *Result
+	label     string
+	cand      Candidate // copy of the candidate, for promotion re-apply
+	cfg       Config
+	values    []string  // per-axis settings, in axis order
+	raw       []float64 // objective values as reported
+	keys      []float64 // minimization-sense keys for dominance
+	result    *Result
+	fidelity  Fidelity
+	screenErr map[string]float64 // analytical-vs-accurate error, promoted points only
+}
+
+// explorer bundles the state shared by the search and promotion phases.
+type explorer struct {
+	base    Config
+	topo    *Topology
+	space   Space
+	o       *exploreOptions
+	f       *Frontier
+	infKeys []float64
+}
+
+// searchOutcome is the accounting of one strategy-driven search phase.
+type searchOutcome struct {
+	evals      []evaluation
+	evaluated  int // candidates asked of the strategy, including infeasible
+	infeasible int
+	gens       int
 }
 
 // Explore searches the design space spanned by space around the base
@@ -395,13 +526,21 @@ type evaluation struct {
 // changed layers), and returns the exact Pareto frontier under the
 // declared objectives.
 //
-// The search is budget-bounded (WithEvalBudget) and cancellable: on
+// The search is budget-bounded (WithExploreBudget) and cancellable: on
 // context cancellation Explore returns the frontier of the batches that
 // completed together with the context's error. Candidates whose
 // configuration fails validation or whose simulation errors are counted as
 // infeasible and excluded from the frontier — adaptive strategies steer
 // away from them. For a fixed seed the result is byte-identical through
 // the CSV/JSON writers at any parallelism.
+//
+// With WithPromoteTopK or WithPromoteMargin the search runs in two phases:
+// the strategy first spends the whole budget at the Analytical tier
+// (closed forms, no replay), then the analytical Pareto front plus the
+// top-K and margin-qualified candidates are promoted to the accurate tier
+// (WithExploreFidelity) and the frontier is computed from the accurate
+// results alone, each promoted point carrying its measured
+// analytical-vs-accurate error.
 func Explore(ctx context.Context, base Config, topo *Topology, space Space, opts ...ExploreOption) (*Frontier, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -418,6 +557,9 @@ func Explore(ctx context.Context, base Config, topo *Topology, space Space, opts
 	}
 	if err := space.Validate(); err != nil {
 		return nil, err
+	}
+	if !o.fidelity.Valid() {
+		return nil, fmt.Errorf("scalesim: invalid explore fidelity %d", int(o.fidelity))
 	}
 	seen := make(map[string]bool, len(o.objectives))
 	for _, obj := range o.objectives {
@@ -446,22 +588,58 @@ func Explore(ctx context.Context, base Config, topo *Topology, space Space, opts
 		AxisNames: space.Names(),
 		Strategy:  strat.Name(),
 		Seed:      o.seed,
+		Fidelity:  o.fidelity,
 	}
 	for _, obj := range o.objectives {
 		f.ObjectiveNames = append(f.ObjectiveNames, obj.Name)
 	}
-
-	var evals []evaluation
-	infKeys := make([]float64, len(o.objectives))
-	for i := range infKeys {
-		infKeys[i] = math.Inf(1)
+	e := &explorer{base: base, topo: topo, space: space, o: &o, f: f}
+	e.infKeys = make([]float64, len(o.objectives))
+	for i := range e.infKeys {
+		e.infKeys[i] = math.Inf(1)
 	}
-	for gen := 1; f.Evaluated < o.budget; gen++ {
+
+	if o.promoteTopK == 0 && o.promoteMargin == 0 {
+		// Single-tier search: every evaluation at the accurate fidelity.
+		out, err := e.search(ctx, strat, cache, o.fidelity, o.budget)
+		f.Evaluated += out.evaluated
+		f.Infeasible += out.infeasible
+		finishFrontier(f, out.evals)
+		return f, err
+	}
+
+	// Phase 1: screen the whole budget at the Analytical tier. Caching is
+	// skipped — distinct candidates never share whole-layer fingerprints,
+	// and at microseconds per closed-form evaluation the key hashing would
+	// dominate the work.
+	out, err := e.search(ctx, strat, nil, Analytical, o.budget)
+	f.Screened = out.evaluated
+	f.Infeasible += out.infeasible
+	if err != nil {
+		// Cancelled mid-screen: nothing reached the accurate tier.
+		finishFrontier(f, nil)
+		return f, err
+	}
+	// Phase 2: promote the frontier-adjacent candidates.
+	accurate, err := e.promote(ctx, cache, out.evals, out.gens)
+	finishFrontier(f, accurate)
+	return f, err
+}
+
+// search runs the strategy ask/tell loop, evaluating batches at fidelity
+// fid via Sweep, until budget evaluations are spent or the space is
+// exhausted. Cache may be nil (uncached). Cache statistics accumulate into
+// the frontier; evaluation/infeasibility counts are returned for the
+// caller to attribute to the right phase.
+func (e *explorer) search(ctx context.Context, strat Searcher, cache *Cache, fid Fidelity, budget int) (searchOutcome, error) {
+	o, f := e.o, e.f
+	var out searchOutcome
+	for gen := 1; out.evaluated < budget; gen++ {
 		if err := ctx.Err(); err != nil {
-			finishFrontier(f, evals)
-			return f, err
+			return out, err
 		}
-		n := o.budget - f.Evaluated
+		out.gens = gen
+		n := budget - out.evaluated
 		if n > o.batch {
 			n = o.batch
 		}
@@ -469,7 +647,7 @@ func Explore(ctx context.Context, base Config, topo *Topology, space Space, opts
 		if len(cands) == 0 {
 			break // space exhausted
 		}
-		batchBase := f.Evaluated
+		batchBase := out.evaluated
 		keys := make([][]float64, len(cands))
 
 		// Materialize candidates; workload-axis failures are infeasible
@@ -480,17 +658,17 @@ func Explore(ctx context.Context, base Config, topo *Topology, space Space, opts
 		cfgs := make([]Config, len(cands))
 		preFailed := 0
 		for i, c := range cands {
-			labels[i] = space.Label(c)
-			cfgs[i] = space.Apply(base, c)
+			labels[i] = e.space.Label(c)
+			cfgs[i] = e.space.Apply(e.base, c)
 			cfgs[i].RunName = labels[i]
-			pt, err := space.ApplyTopology(topo, c)
+			pt, err := e.space.ApplyTopology(e.topo, c)
 			if err != nil {
-				keys[i] = infKeys
-				f.Infeasible++
+				keys[i] = e.infKeys
+				out.infeasible++
 				preFailed++
 				if o.progress != nil {
 					o.progress(ExploreProgress{Generation: gen, Evaluated: batchBase + preFailed,
-						Budget: o.budget, Point: labels[i], Err: err})
+						Budget: budget, Point: labels[i], Fidelity: fid, Err: err})
 				}
 				continue
 			}
@@ -498,7 +676,7 @@ func Explore(ctx context.Context, base Config, topo *Topology, space Space, opts
 			ptCand = append(ptCand, i)
 		}
 
-		sweepOpts := []Option{WithParallelism(o.parallelism), WithCache(cache)}
+		sweepOpts := []Option{WithParallelism(o.parallelism), WithCache(cache), WithFidelity(fid)}
 		if o.traceOn {
 			sweepOpts = append(sweepOpts, WithTrace(o.traceDir))
 		}
@@ -506,56 +684,210 @@ func Explore(ctx context.Context, base Config, topo *Topology, space Space, opts
 			evalBase, fn, g := batchBase+preFailed, o.progress, gen
 			sweepOpts = append(sweepOpts, WithSweepProgress(func(p SweepPointProgress) {
 				fn(ExploreProgress{Generation: g, Evaluated: evalBase + p.Done,
-					Budget: o.budget, Point: p.Point, Err: p.Err})
+					Budget: budget, Point: p.Point, Fidelity: fid, Err: p.Err})
 			}))
 		}
 		results, err := Sweep(ctx, pts, sweepOpts...)
 		if err != nil {
 			// Cancelled mid-batch: the batch is discarded so the partial
 			// frontier stays deterministic.
-			finishFrontier(f, evals)
-			return f, err
+			return out, err
 		}
 		for pi, sr := range results {
 			ci := ptCand[pi]
 			if sr.Err != nil {
-				keys[ci] = infKeys
-				f.Infeasible++
+				keys[ci] = e.infKeys
+				out.infeasible++
 				continue
 			}
 			f.CacheStats.Hits += sr.Result.CacheStats.Hits
 			f.CacheStats.Misses += sr.Result.CacheStats.Misses
-			raw := make([]float64, len(o.objectives))
-			k := make([]float64, len(o.objectives))
-			feasible := true
-			for oi, obj := range o.objectives {
-				v := obj.Fn(sr.Result)
-				raw[oi] = v
-				if math.IsNaN(v) {
-					feasible = false
-					break
-				}
-				if obj.Maximize {
-					v = -v
-				}
-				k[oi] = v
-			}
+			raw, k, feasible := e.score(sr.Result)
 			if !feasible {
-				keys[ci] = infKeys
-				f.Infeasible++
+				keys[ci] = e.infKeys
+				out.infeasible++
 				continue
 			}
 			keys[ci] = k
-			evals = append(evals, evaluation{
-				label: sr.Point.Name, cfg: cfgs[ci], values: space.Values(cands[ci]),
-				raw: raw, keys: k, result: sr.Result,
+			out.evals = append(out.evals, evaluation{
+				label: sr.Point.Name, cand: append(Candidate(nil), cands[ci]...),
+				cfg: cfgs[ci], values: e.space.Values(cands[ci]),
+				raw: raw, keys: k, result: sr.Result, fidelity: fid,
 			})
 		}
 		strat.Tell(cands, keys)
-		f.Evaluated += len(cands)
+		out.evaluated += len(cands)
 	}
-	finishFrontier(f, evals)
-	return f, nil
+	return out, nil
+}
+
+// score extracts the raw objective values and minimization-sense keys from
+// a result; feasible is false when any objective is NaN.
+func (e *explorer) score(r *Result) (raw, keys []float64, feasible bool) {
+	objs := e.o.objectives
+	raw = make([]float64, len(objs))
+	keys = make([]float64, len(objs))
+	for oi, obj := range objs {
+		v := obj.Fn(r)
+		raw[oi] = v
+		if math.IsNaN(v) {
+			return raw, keys, false
+		}
+		if obj.Maximize {
+			v = -v
+		}
+		keys[oi] = v
+	}
+	return raw, keys, true
+}
+
+// promote selects the frontier-adjacent subset of the analytical screen —
+// the exact analytical Pareto front, the PromoteTopK best candidates by
+// lexicographic key rank, and every candidate within PromoteMargin of the
+// front — and re-evaluates it at the accurate tier through one cached
+// Sweep. Each returned evaluation carries the measured per-objective
+// analytical-vs-accurate relative error.
+func (e *explorer) promote(ctx context.Context, cache *Cache, screened []evaluation, screenGens int) ([]evaluation, error) {
+	o, f := e.o, e.f
+	if len(screened) == 0 {
+		return nil, nil
+	}
+	vecs := make([][]float64, len(screened))
+	for i := range screened {
+		vecs[i] = screened[i].keys
+	}
+	front := explore.Front(vecs)
+	chosen := make(map[int]bool, len(front))
+	for _, i := range front {
+		chosen[i] = true
+	}
+	if k := o.promoteTopK; k > 0 {
+		// Rank every screened candidate by minimization keys, ties by
+		// label, and take the K best.
+		rank := make([]int, len(screened))
+		for i := range rank {
+			rank[i] = i
+		}
+		sort.SliceStable(rank, func(a, b int) bool {
+			return lessEval(&screened[rank[a]], &screened[rank[b]])
+		})
+		if k > len(rank) {
+			k = len(rank)
+		}
+		for _, i := range rank[:k] {
+			chosen[i] = true
+		}
+	}
+	if m := o.promoteMargin; m > 0 {
+		// A candidate within relative margin m of the front survives
+		// dominance after shrinking each key toward the ideal by m·|key|.
+		shifted := make([]float64, len(e.o.objectives))
+		for i, v := range vecs {
+			if chosen[i] {
+				continue
+			}
+			for j, k := range v {
+				shifted[j] = k - m*math.Abs(k)
+			}
+			near := true
+			for _, fi := range front {
+				if explore.Dominates(vecs[fi], shifted) {
+					near = false
+					break
+				}
+			}
+			if near {
+				chosen[i] = true
+			}
+		}
+	}
+	// Deterministic promotion order: screen-evaluation order.
+	promoted := make([]int, 0, len(chosen))
+	for i := range screened {
+		if chosen[i] {
+			promoted = append(promoted, i)
+		}
+	}
+	f.Promoted = len(promoted)
+	f.Evaluated += len(promoted)
+
+	pts := make([]SweepPoint, len(promoted))
+	for pi, i := range promoted {
+		sc := &screened[i]
+		pt, err := e.space.ApplyTopology(e.topo, sc.cand)
+		if err != nil {
+			// The same candidate materialized during the screen; a failure
+			// here means the topology axis is nondeterministic.
+			return nil, fmt.Errorf("scalesim: promotion re-apply of %q failed: %w", sc.label, err)
+		}
+		pts[pi] = SweepPoint{Name: sc.label, Config: sc.cfg, Topology: pt}
+	}
+	sweepOpts := []Option{WithParallelism(o.parallelism), WithCache(cache), WithFidelity(o.fidelity)}
+	if o.traceOn {
+		sweepOpts = append(sweepOpts, WithTrace(o.traceDir))
+	}
+	if o.progress != nil {
+		fn, g, total := o.progress, screenGens+1, len(pts)
+		sweepOpts = append(sweepOpts, WithSweepProgress(func(p SweepPointProgress) {
+			fn(ExploreProgress{Generation: g, Evaluated: p.Done,
+				Budget: total, Point: p.Point, Fidelity: o.fidelity, Err: p.Err})
+		}))
+	}
+	results, err := Sweep(ctx, pts, sweepOpts...)
+	if err != nil {
+		// Cancelled mid-promotion: discard the batch, deterministically.
+		return nil, err
+	}
+	evals := make([]evaluation, 0, len(results))
+	for pi, sr := range results {
+		sc := &screened[promoted[pi]]
+		if sr.Err != nil {
+			f.Infeasible++
+			continue
+		}
+		f.CacheStats.Hits += sr.Result.CacheStats.Hits
+		f.CacheStats.Misses += sr.Result.CacheStats.Misses
+		raw, k, feasible := e.score(sr.Result)
+		if !feasible {
+			f.Infeasible++
+			continue
+		}
+		screenErr := make(map[string]float64, len(o.objectives))
+		for oi, obj := range o.objectives {
+			screenErr[obj.Name] = relError(raw[oi], sc.raw[oi])
+		}
+		evals = append(evals, evaluation{
+			label: sc.label, cand: sc.cand, cfg: sc.cfg, values: sc.values,
+			raw: raw, keys: k, result: sr.Result,
+			fidelity: o.fidelity, screenErr: screenErr,
+		})
+	}
+	return evals, nil
+}
+
+// relError is |accurate − analytical| normalized by |accurate|, guarding
+// the accurate-is-zero case (then any nonzero analytical value is an
+// error of 1).
+func relError(accurate, analytical float64) float64 {
+	if accurate == analytical {
+		return 0
+	}
+	denom := math.Abs(accurate)
+	if denom == 0 {
+		return 1
+	}
+	return math.Abs(accurate-analytical) / denom
+}
+
+// lessEval orders evaluations by minimization-sense keys, ties by label —
+// the deterministic order of frontier output and top-K ranking.
+func lessEval(a, b *evaluation) bool {
+	for k := range a.keys {
+		if a.keys[k] != b.keys[k] {
+			return a.keys[k] < b.keys[k]
+		}
+	}
+	return a.label < b.label
 }
 
 // finishFrontier extracts the exact Pareto set from the feasible
@@ -566,25 +898,21 @@ func finishFrontier(f *Frontier, evals []evaluation) {
 	for i := range evals {
 		vecs[i] = evals[i].keys
 	}
-	front := explore.ParetoIndices(vecs)
+	front := explore.Front(vecs)
 	sort.SliceStable(front, func(a, b int) bool {
-		ea, eb := &evals[front[a]], &evals[front[b]]
-		for k := range ea.keys {
-			if ea.keys[k] != eb.keys[k] {
-				return ea.keys[k] < eb.keys[k]
-			}
-		}
-		return ea.label < eb.label
+		return lessEval(&evals[front[a]], &evals[front[b]])
 	})
 	f.Points = f.Points[:0]
 	for _, i := range front {
 		e := &evals[i]
 		f.Points = append(f.Points, FrontierPoint{
-			Name:       e.label,
-			Config:     e.cfg,
-			AxisValues: e.values,
-			Objectives: e.raw,
-			Result:     e.result,
+			Name:        e.label,
+			Config:      e.cfg,
+			AxisValues:  e.values,
+			Objectives:  e.raw,
+			Result:      e.result,
+			Fidelity:    e.fidelity,
+			ScreenError: e.screenErr,
 		})
 	}
 }

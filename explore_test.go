@@ -62,11 +62,11 @@ func TestExploreDeterministicAcrossParallelism(t *testing.T) {
 			var snaps [][]byte
 			for _, par := range []int{1, 4} {
 				f, err := scalesim.Explore(context.Background(), cfg, topo, exploreSpace(t),
-					scalesim.WithObjectives(scalesim.CyclesObjective(), scalesim.EnergyObjective()),
-					scalesim.WithSearchStrategy(strat),
-					scalesim.WithEvalBudget(10),
-					scalesim.WithBatchSize(4),
-					scalesim.WithSeed(99),
+					scalesim.WithExploreObjectives(scalesim.CyclesObjective(), scalesim.EnergyObjective()),
+					scalesim.WithExploreStrategy(strat),
+					scalesim.WithExploreBudget(10),
+					scalesim.WithExploreBatchSize(4),
+					scalesim.WithExploreSeed(99),
 					scalesim.WithExploreParallelism(par),
 				)
 				if err != nil {
@@ -97,9 +97,9 @@ func TestExploreFrontierAgainstBruteForce(t *testing.T) {
 		scalesim.CyclesObjective(), scalesim.EnergyObjective(), scalesim.UtilizationObjective(),
 	}
 	f, err := scalesim.Explore(context.Background(), cfg, topo, space,
-		scalesim.WithObjectives(objs...),
-		scalesim.WithSearchStrategy(scalesim.GridSearch),
-		scalesim.WithEvalBudget(1000),
+		scalesim.WithExploreObjectives(objs...),
+		scalesim.WithExploreStrategy(scalesim.GridSearch),
+		scalesim.WithExploreBudget(1000),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -110,10 +110,10 @@ func TestExploreFrontierAgainstBruteForce(t *testing.T) {
 
 	// Batch size must not change the outcome.
 	f2, err := scalesim.Explore(context.Background(), cfg, topo, space,
-		scalesim.WithObjectives(objs...),
-		scalesim.WithSearchStrategy(scalesim.GridSearch),
-		scalesim.WithEvalBudget(1000),
-		scalesim.WithBatchSize(1),
+		scalesim.WithExploreObjectives(objs...),
+		scalesim.WithExploreStrategy(scalesim.GridSearch),
+		scalesim.WithExploreBudget(1000),
+		scalesim.WithExploreBatchSize(1),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -144,9 +144,9 @@ func TestExploreFrontierAgainstBruteForce(t *testing.T) {
 	var mu sync.Mutex
 	labels := map[string]bool{}
 	_, err = scalesim.Explore(context.Background(), cfg, topo, space,
-		scalesim.WithObjectives(objs...),
-		scalesim.WithSearchStrategy(scalesim.GridSearch),
-		scalesim.WithEvalBudget(1000),
+		scalesim.WithExploreObjectives(objs...),
+		scalesim.WithExploreStrategy(scalesim.GridSearch),
+		scalesim.WithExploreBudget(1000),
 		scalesim.WithExploreProgress(func(p scalesim.ExploreProgress) {
 			mu.Lock()
 			labels[p.Point] = true
@@ -258,10 +258,10 @@ func TestExploreBudget(t *testing.T) {
 		scalesim.GridSearch, scalesim.RandomSearch, scalesim.EvolutionSearch,
 	} {
 		f, err := scalesim.Explore(context.Background(), scalesim.DefaultConfig(), topo, exploreSpace(t),
-			scalesim.WithSearchStrategy(strat),
-			scalesim.WithEvalBudget(5),
-			scalesim.WithBatchSize(2),
-			scalesim.WithSeed(3),
+			scalesim.WithExploreStrategy(strat),
+			scalesim.WithExploreBudget(5),
+			scalesim.WithExploreBatchSize(2),
+			scalesim.WithExploreSeed(3),
 		)
 		if err != nil {
 			t.Fatalf("%s: %v", strat, err)
@@ -279,8 +279,8 @@ func TestExploreCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var once sync.Once
 	f, err := scalesim.Explore(ctx, scalesim.DefaultConfig(), topo, exploreSpace(t),
-		scalesim.WithEvalBudget(12),
-		scalesim.WithBatchSize(2),
+		scalesim.WithExploreBudget(12),
+		scalesim.WithExploreBatchSize(2),
 		scalesim.WithExploreProgress(func(p scalesim.ExploreProgress) {
 			if p.Evaluated >= 2 {
 				once.Do(cancel)
@@ -315,7 +315,7 @@ func TestExploreInfeasibleCandidates(t *testing.T) {
 	}
 	f, err := scalesim.Explore(context.Background(), scalesim.DefaultConfig(), exploreTopology(),
 		scalesim.Space{bad, arr},
-		scalesim.WithSearchStrategy(scalesim.GridSearch))
+		scalesim.WithExploreStrategy(scalesim.GridSearch))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +338,7 @@ func TestExploreSharedCacheAcrossGenerations(t *testing.T) {
 	cache := scalesim.NewCache(0, 0)
 	run := func() *scalesim.Frontier {
 		f, err := scalesim.Explore(context.Background(), scalesim.DefaultConfig(), topo, exploreSpace(t),
-			scalesim.WithSearchStrategy(scalesim.GridSearch),
+			scalesim.WithExploreStrategy(scalesim.GridSearch),
 			scalesim.WithExploreCache(cache),
 		)
 		if err != nil {
@@ -368,15 +368,15 @@ func TestExploreOptionValidation(t *testing.T) {
 	}
 	sp := exploreSpace(t)
 	if _, err := scalesim.Explore(context.Background(), cfg, topo, sp,
-		scalesim.WithObjectives(scalesim.CyclesObjective(), scalesim.CyclesObjective())); err == nil {
+		scalesim.WithExploreObjectives(scalesim.CyclesObjective(), scalesim.CyclesObjective())); err == nil {
 		t.Error("duplicate objectives: want error")
 	}
 	if _, err := scalesim.Explore(context.Background(), cfg, topo, sp,
-		scalesim.WithObjectives(scalesim.Objective{Name: "x"})); err == nil {
+		scalesim.WithExploreObjectives(scalesim.Objective{Name: "x"})); err == nil {
 		t.Error("nil objective fn: want error")
 	}
 	if _, err := scalesim.Explore(context.Background(), cfg, topo, sp,
-		scalesim.WithSearchStrategy("anneal")); err == nil {
+		scalesim.WithExploreStrategy("anneal")); err == nil {
 		t.Error("unknown strategy: want error")
 	}
 }

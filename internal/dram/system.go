@@ -74,7 +74,9 @@ type Options struct {
 	// advance the clock one Tick per cycle instead of jumping between
 	// events. The two modes are cycle-for-cycle identical; the reference
 	// loop is retained as the oracle for the event engine's differential
-	// tests.
+	// tests. No longer a public backdoor: callers select tiers with
+	// scalesim.WithFidelity, which reaches this flag only through the
+	// CycleAccurate tier.
 	ReferenceTicks bool
 }
 

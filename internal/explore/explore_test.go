@@ -189,6 +189,34 @@ func TestParetoIndicesAgainstOracle(t *testing.T) {
 	}
 }
 
+func TestFrontMatchesParetoIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 80; trial++ {
+		n := rng.Intn(120)
+		dims := 1 + rng.Intn(4)
+		vecs := make([][]float64, n)
+		for i := range vecs {
+			v := make([]float64, dims)
+			for k := range v {
+				// A coarse value grid forces ties and duplicates, the cases
+				// where a fast front extraction is most likely to diverge.
+				v[k] = float64(rng.Intn(4))
+			}
+			vecs[i] = v
+		}
+		got := Front(vecs)
+		want := ParetoIndices(vecs)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Front size %d, ParetoIndices %d (vecs %v)", trial, len(got), len(want), vecs)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: Front %v != ParetoIndices %v", trial, got, want)
+			}
+		}
+	}
+}
+
 func TestGridEnumeratesAllOnce(t *testing.T) {
 	s := testSpace(t)
 	g := NewGrid(s)

@@ -163,23 +163,29 @@ func WriteEnergy(w io.Writer, rows []EnergyRow) error {
 }
 
 // FrontierRow is one non-dominated design point of a FRONTIER report: the
-// point label, its per-axis settings and its objective values, in the
-// axis/objective order of the enclosing frontier.
+// point label, its per-axis settings, its objective values (in the
+// axis/objective order of the enclosing frontier) and the fidelity its
+// objectives were measured at.
 type FrontierRow struct {
 	Name       string
 	AxisValues []string
 	Objectives []float64
+	// Fidelity names the simulation tier that produced the objective
+	// values ("analytical", "event", "cycle").
+	Fidelity string
 }
 
 // WriteFrontier emits a Pareto frontier as CSV: a Point column, one column
-// per space axis and one per objective. Axis and objective names become
-// the header; every row must carry matching slice lengths.
+// per space axis, one per objective, and a trailing fidelity column. Axis
+// and objective names become the header; every row must carry matching
+// slice lengths.
 func WriteFrontier(w io.Writer, axisNames, objectiveNames []string, rows []FrontierRow) error {
 	cw := csv.NewWriter(w)
-	header := make([]string, 0, 1+len(axisNames)+len(objectiveNames))
+	header := make([]string, 0, 2+len(axisNames)+len(objectiveNames))
 	header = append(header, "Point")
 	header = append(header, axisNames...)
 	header = append(header, objectiveNames...)
+	header = append(header, "fidelity")
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -194,6 +200,7 @@ func WriteFrontier(w io.Writer, axisNames, objectiveNames []string, rows []Front
 		for _, v := range r.Objectives {
 			rec = append(rec, fmtF(v))
 		}
+		rec = append(rec, r.Fidelity)
 		if err := cw.Write(rec); err != nil {
 			return err
 		}

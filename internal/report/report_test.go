@@ -139,8 +139,8 @@ func TestWriteFrontier(t *testing.T) {
 	err := WriteFrontier(&buf,
 		[]string{"array", "dataflow"}, []string{"cycles", "energy_mj"},
 		[]FrontierRow{
-			{Name: "array=16,dataflow=os", AxisValues: []string{"16", "os"}, Objectives: []float64{1204, 0.25}},
-			{Name: "array=32,dataflow=ws", AxisValues: []string{"32", "ws"}, Objectives: []float64{900, 0.5}},
+			{Name: "array=16,dataflow=os", AxisValues: []string{"16", "os"}, Objectives: []float64{1204, 0.25}, Fidelity: "event"},
+			{Name: "array=32,dataflow=ws", AxisValues: []string{"32", "ws"}, Objectives: []float64{900, 0.5}, Fidelity: "analytical"},
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +149,7 @@ func TestWriteFrontier(t *testing.T) {
 	if len(rows) != 3 {
 		t.Fatalf("rows: %v", rows)
 	}
-	wantHeader := []string{"Point", "array", "dataflow", "cycles", "energy_mj"}
+	wantHeader := []string{"Point", "array", "dataflow", "cycles", "energy_mj", "fidelity"}
 	for i, h := range wantHeader {
 		if rows[0][i] != h {
 			t.Errorf("header[%d] = %q, want %q", i, rows[0][i], h)
@@ -157,6 +157,9 @@ func TestWriteFrontier(t *testing.T) {
 	}
 	if rows[1][1] != "16" || rows[1][3] != "1204.000000" || rows[2][2] != "ws" {
 		t.Errorf("rows: %v", rows)
+	}
+	if rows[1][5] != "event" || rows[2][5] != "analytical" {
+		t.Errorf("fidelity column: %v", rows)
 	}
 }
 

@@ -416,7 +416,10 @@ type RunRequest struct {
 	Config      json.RawMessage `json:"config,omitempty"`
 	Topology    TopologyDTO     `json:"topology"`
 	Parallelism int             `json:"parallelism,omitempty"`
-	TimeoutS    float64         `json:"timeout_s,omitempty"`
+	// Fidelity selects the simulation tier: "analytical", "event"
+	// (default) or "cycle".
+	Fidelity string  `json:"fidelity,omitempty"`
+	TimeoutS float64 `json:"timeout_s,omitempty"`
 }
 
 // SweepPointDTO is one point of a SweepRequest.
@@ -431,7 +434,10 @@ type SweepPointDTO struct {
 type SweepRequest struct {
 	Points      []SweepPointDTO `json:"points"`
 	Parallelism int             `json:"parallelism,omitempty"`
-	TimeoutS    float64         `json:"timeout_s,omitempty"`
+	// Fidelity selects the simulation tier for every point: "analytical",
+	// "event" (default) or "cycle".
+	Fidelity string  `json:"fidelity,omitempty"`
+	TimeoutS float64 `json:"timeout_s,omitempty"`
 }
 
 // ExploreRequest is the body of POST /v1/explore. Space and Objectives use
@@ -447,7 +453,17 @@ type ExploreRequest struct {
 	Seed        int64           `json:"seed,omitempty"`
 	Batch       int             `json:"batch,omitempty"`
 	Parallelism int             `json:"parallelism,omitempty"`
-	TimeoutS    float64         `json:"timeout_s,omitempty"`
+	// Fidelity is the accurate simulation tier ("analytical", "event" —
+	// the default — or "cycle"); with screening enabled it is the tier
+	// promoted candidates reach.
+	Fidelity string `json:"fidelity,omitempty"`
+	// PromoteTopK > 0 or PromoteMargin > 0 enables two-phase
+	// screen-and-promote: the budget is screened analytically, then the
+	// analytical front plus the top-K / margin-qualified candidates are
+	// promoted to the accurate tier.
+	PromoteTopK   int     `json:"promote_top_k,omitempty"`
+	PromoteMargin float64 `json:"promote_margin,omitempty"`
+	TimeoutS      float64 `json:"timeout_s,omitempty"`
 }
 
 // decodeRequest decodes an HTTP request body into dst, rejecting unknown
@@ -491,12 +507,17 @@ type SweepReportsDTO struct {
 // ExploreReportsDTO is the reports payload of an explore job: the frontier
 // files plus search accounting.
 type ExploreReportsDTO struct {
-	Kind       string          `json:"kind"` // "explore"
-	Strategy   string          `json:"strategy"`
-	Seed       int64           `json:"seed"`
-	Evaluated  int             `json:"evaluated"`
-	Infeasible int             `json:"infeasible"`
-	Reports    []ReportFileDTO `json:"reports"`
+	Kind       string `json:"kind"` // "explore"
+	Strategy   string `json:"strategy"`
+	Seed       int64  `json:"seed"`
+	Fidelity   string `json:"fidelity"`
+	Evaluated  int    `json:"evaluated"`
+	Infeasible int    `json:"infeasible"`
+	// Screened/Promoted report the two-phase accounting; both are 0 for a
+	// single-tier search.
+	Screened int             `json:"screened,omitempty"`
+	Promoted int             `json:"promoted,omitempty"`
+	Reports  []ReportFileDTO `json:"reports"`
 }
 
 // CacheStatsDTO is the per-job layer-cache accounting in job status.
@@ -507,9 +528,13 @@ type CacheStatsDTO struct {
 
 // ProgressDTO is the job's progress counter: units are layers for run jobs,
 // sweep points for sweep jobs and candidate evaluations for explore jobs.
+// For a screened exploration, Done/Total track the current phase and
+// EvalsByFidelity accumulates the per-tier evaluation counts ("analytical",
+// "event", "cycle") across phases.
 type ProgressDTO struct {
-	Done  int `json:"done"`
-	Total int `json:"total"`
+	Done            int            `json:"done"`
+	Total           int            `json:"total"`
+	EvalsByFidelity map[string]int `json:"evals_by_fidelity,omitempty"`
 }
 
 // JobDTO is the JSON shape of a job, returned by the enqueue endpoints,

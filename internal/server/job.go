@@ -84,6 +84,15 @@ func (j *Job) dtoLocked() JobDTO {
 		Progress:   j.progress,
 		CacheStats: CacheStatsDTO{Hits: j.cacheStats.Hits, Misses: j.cacheStats.Misses},
 	}
+	if j.progress.EvalsByFidelity != nil {
+		// Snapshots are marshaled after the lock is released; hand out a
+		// copy so in-flight countEval calls cannot race the encoder.
+		m := make(map[string]int, len(j.progress.EvalsByFidelity))
+		for k, v := range j.progress.EvalsByFidelity {
+			m[k] = v
+		}
+		d.Progress.EvalsByFidelity = m
+	}
 	if !j.started.IsZero() {
 		d.Started = j.started.UTC().Format(time.RFC3339Nano)
 	}
@@ -175,11 +184,25 @@ func (j *Job) requestCancel() bool {
 }
 
 // setProgress updates the progress counter and notifies SSE subscribers.
+// The per-fidelity evaluation counts survive the reset — they accumulate
+// across a screened exploration's phases.
 func (j *Job) setProgress(done, total int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.progress = ProgressDTO{Done: done, Total: total}
+	evals := j.progress.EvalsByFidelity
+	j.progress = ProgressDTO{Done: done, Total: total, EvalsByFidelity: evals}
 	j.publishLocked()
+}
+
+// countEval bumps the progress counter for one candidate evaluated at the
+// named fidelity tier, alongside setProgress's phase-relative counters.
+func (j *Job) countEval(fidelity string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.progress.EvalsByFidelity == nil {
+		j.progress.EvalsByFidelity = make(map[string]int, 3)
+	}
+	j.progress.EvalsByFidelity[fidelity]++
 }
 
 // duration returns the job's wall time, 0 until it finished running.

@@ -145,6 +145,7 @@ func (s *Server) initMetrics() {
 	s.httpRequests = reg.CounterVec("scalesim_http_requests_total", "HTTP requests served, by route and status code.", "route", "code")
 	s.httpDuration = reg.HistogramVec("scalesim_http_request_duration_seconds", "HTTP request latency by route.", httpDurationBuckets, "route")
 	s.jobsCompleted = reg.CounterVec("scalesim_jobs_completed_total", "Jobs reaching a terminal state, by state.", "state")
+	s.exploreEvals = reg.CounterVec("scalesim_explore_evals_total", "Explore candidate evaluations, by simulation fidelity tier.", "fidelity")
 
 	if mr, ok := s.opts.Executor.(MetricsRegistrar); ok {
 		mr.RegisterMetrics(reg)

@@ -147,6 +147,7 @@ type Server struct {
 	httpRequests  *telemetry.CounterVec
 	httpDuration  *telemetry.HistogramVec
 	jobsCompleted *telemetry.CounterVec
+	exploreEvals  *telemetry.CounterVec
 }
 
 // New builds a Server and starts its shard workers. Call Drain to stop.
@@ -595,19 +596,34 @@ func (s *Server) buildRunJob(body []byte) (runFn, float64, error) {
 	if err := enableForcedSparsity(&cfg, forcedSparse); err != nil {
 		return nil, 0, err
 	}
+	fid, err := parseFidelityField(req.Fidelity)
+	if err != nil {
+		return nil, 0, err
+	}
 	run := s.executorRun("run", body)
 	if run == nil {
-		run = s.localRun(cfg, topo, s.parallelism(req.Parallelism))
+		run = s.localRun(cfg, topo, fid, s.parallelism(req.Parallelism))
 	}
 	return run, req.TimeoutS, nil
 }
 
+// parseFidelityField resolves a request's optional fidelity string,
+// naming the field in the validation error.
+func parseFidelityField(v string) (scalesim.Fidelity, error) {
+	fid, err := scalesim.ParseFidelity(v)
+	if err != nil {
+		return fid, fmt.Errorf("fidelity: %w", err)
+	}
+	return fid, nil
+}
+
 // localRun builds the in-process run-job closure.
-func (s *Server) localRun(cfg scalesim.Config, topo *scalesim.Topology, par int) func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
+func (s *Server) localRun(cfg scalesim.Config, topo *scalesim.Topology, fid scalesim.Fidelity, par int) func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
 	return func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
 		res, err := scalesim.New(cfg).Run(ctx, topo,
 			scalesim.WithCache(s.cache),
 			scalesim.WithParallelism(par),
+			scalesim.WithFidelity(fid),
 			scalesim.WithProgress(func(p scalesim.LayerProgress) {
 				j.setProgress(p.Done, p.Total)
 			}))
@@ -658,19 +674,24 @@ func (s *Server) buildSweepJob(body []byte) (runFn, float64, error) {
 		}
 		pts[i] = scalesim.SweepPoint{Name: name, Config: cfg, Topology: topo}
 	}
+	fid, err := parseFidelityField(req.Fidelity)
+	if err != nil {
+		return nil, 0, err
+	}
 	run := s.executorRun("sweep", body)
 	if run == nil {
-		run = s.localSweep(pts, s.parallelism(req.Parallelism))
+		run = s.localSweep(pts, fid, s.parallelism(req.Parallelism))
 	}
 	return run, req.TimeoutS, nil
 }
 
 // localSweep builds the in-process sweep-job closure.
-func (s *Server) localSweep(pts []scalesim.SweepPoint, par int) func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
+func (s *Server) localSweep(pts []scalesim.SweepPoint, fid scalesim.Fidelity, par int) func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
 	return func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
 		results, err := scalesim.Sweep(ctx, pts,
 			scalesim.WithCache(s.cache),
 			scalesim.WithParallelism(par),
+			scalesim.WithFidelity(fid),
 			scalesim.WithSweepProgress(func(p scalesim.SweepPointProgress) {
 				j.setProgress(p.Done, p.Total)
 			}))
@@ -757,27 +778,60 @@ func (s *Server) buildExploreJob(body []byte) (runFn, float64, error) {
 	if batch <= 0 {
 		batch = 8
 	}
+	fid, err := parseFidelityField(req.Fidelity)
+	if err != nil {
+		return nil, 0, err
+	}
+	if req.PromoteTopK < 0 {
+		return nil, 0, fmt.Errorf("promote_top_k: must be >= 0, got %d", req.PromoteTopK)
+	}
+	if req.PromoteMargin < 0 {
+		return nil, 0, fmt.Errorf("promote_margin: must be >= 0, got %g", req.PromoteMargin)
+	}
 	run := s.executorRun("explore", body)
 	if run == nil {
-		run = s.localExplore(cfg, topo, space, objs, strategy, budget, seed, batch, s.parallelism(req.Parallelism))
+		run = s.localExplore(exploreJobSpec{
+			cfg: cfg, topo: topo, space: space, objs: objs, strategy: strategy,
+			budget: budget, seed: seed, batch: batch, par: s.parallelism(req.Parallelism),
+			fidelity: fid, promoteTopK: req.PromoteTopK, promoteMargin: req.PromoteMargin,
+		})
 	}
 	return run, req.TimeoutS, nil
 }
 
+// exploreJobSpec carries a validated explore request into its closure.
+type exploreJobSpec struct {
+	cfg           scalesim.Config
+	topo          *scalesim.Topology
+	space         scalesim.Space
+	objs          []scalesim.Objective
+	strategy      scalesim.SearchStrategy
+	budget        int
+	seed          int64
+	batch         int
+	par           int
+	fidelity      scalesim.Fidelity
+	promoteTopK   int
+	promoteMargin float64
+}
+
 // localExplore builds the in-process explore-job closure.
-func (s *Server) localExplore(cfg scalesim.Config, topo *scalesim.Topology, space scalesim.Space,
-	objs []scalesim.Objective, strategy scalesim.SearchStrategy, budget int, seed int64, batch, par int,
-) func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
+func (s *Server) localExplore(spec exploreJobSpec) func(context.Context, *Job) ([]byte, scalesim.RunCacheStats, error) {
 	return func(ctx context.Context, j *Job) ([]byte, scalesim.RunCacheStats, error) {
-		frontier, err := scalesim.Explore(ctx, cfg, topo, space,
-			scalesim.WithObjectives(objs...),
-			scalesim.WithSearchStrategy(strategy),
-			scalesim.WithEvalBudget(budget),
-			scalesim.WithSeed(seed),
-			scalesim.WithBatchSize(batch),
-			scalesim.WithExploreParallelism(par),
+		frontier, err := scalesim.Explore(ctx, spec.cfg, spec.topo, spec.space,
+			scalesim.WithExploreObjectives(spec.objs...),
+			scalesim.WithExploreStrategy(spec.strategy),
+			scalesim.WithExploreBudget(spec.budget),
+			scalesim.WithExploreSeed(spec.seed),
+			scalesim.WithExploreBatchSize(spec.batch),
+			scalesim.WithExploreParallelism(spec.par),
 			scalesim.WithExploreCache(s.cache),
+			scalesim.WithExploreFidelity(spec.fidelity),
+			scalesim.WithPromoteTopK(spec.promoteTopK),
+			scalesim.WithPromoteMargin(spec.promoteMargin),
 			scalesim.WithExploreProgress(func(p scalesim.ExploreProgress) {
+				j.countEval(p.Fidelity.String())
+				s.exploreEvals.With(p.Fidelity.String()).Inc()
 				j.setProgress(p.Evaluated, p.Budget)
 			}))
 		if err != nil {
@@ -795,8 +849,11 @@ func (s *Server) localExplore(cfg scalesim.Config, topo *scalesim.Topology, spac
 			Kind:       "explore",
 			Strategy:   frontier.Strategy,
 			Seed:       frontier.Seed,
+			Fidelity:   frontier.Fidelity.String(),
 			Evaluated:  frontier.Evaluated,
 			Infeasible: frontier.Infeasible,
+			Screened:   frontier.Screened,
+			Promoted:   frontier.Promoted,
 			Reports:    files,
 		})
 		return payload, frontier.CacheStats, err

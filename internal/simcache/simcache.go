@@ -42,7 +42,11 @@ type Key [sha256.Size]byte
 // derived by the new binary diverges from the old ones, so persisted
 // entries written by older binaries (see internal/diskstore) become
 // unreachable instead of being decoded into the wrong shape.
-const SchemaVersion = 1
+//
+// v2: simulation fidelity (scalesim.Fidelity) joined the layer
+// fingerprint — entries persisted under v1 predate the tier axis and
+// cannot be told apart by tier, so they all retire.
+const SchemaVersion = 2
 
 // Hasher accumulates simulation inputs into a Key. The zero value is not
 // usable; call NewHasher.

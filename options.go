@@ -5,6 +5,7 @@ import "scalesim/internal/energy"
 // options collects the tunables shared by New, Run and Sweep.
 type options struct {
 	ert           *energy.ERT
+	fidelity      Fidelity
 	parallelism   int
 	progress      func(LayerProgress)
 	sweepProgress func(SweepPointProgress)

@@ -282,6 +282,7 @@ func runLayer(ctx context.Context, cfg *Config, o *options, l *Layer, lc *layerC
 		Config:      cfg,
 		ERT:         o.ert,
 		Layer:       l,
+		Fidelity:    o.fidelity,
 		Dataflow:    cfg.Dataflow,
 		Rows:        cfg.ArrayRows,
 		Cols:        cfg.ArrayCols,

@@ -58,8 +58,8 @@
 //
 //	space, _ := scalesim.ParseSpace("array=16..128:pow2; dataflow=os,ws,is")
 //	frontier, err := scalesim.Explore(ctx, cfg, topo, space,
-//		scalesim.WithObjectives(scalesim.CyclesObjective(), scalesim.EnergyObjective()),
-//		scalesim.WithEvalBudget(64))
+//		scalesim.WithExploreObjectives(scalesim.CyclesObjective(), scalesim.EnergyObjective()),
+//		scalesim.WithExploreBudget(64))
 //	err = frontier.WriteAll("out") // FRONTIER.csv + FRONTIER.json
 //
 // For callers that cannot link this package, `scalesim serve` (backed by

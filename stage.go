@@ -27,6 +27,11 @@ type StageContext struct {
 	ERT *ERT
 	// Layer is the layer being simulated.
 	Layer *Layer
+	// Fidelity is the simulation tier requested by WithFidelity
+	// (EventDriven unless overridden). Stages that model time choose
+	// their engine by it; fidelity-blind custom stages may ignore it —
+	// the tier is part of the cache fingerprint regardless.
+	Fidelity Fidelity
 	// Dataflow is the effective dataflow for this layer. It starts as
 	// Config.Dataflow; the compute stage may override it.
 	Dataflow Dataflow
@@ -94,8 +99,10 @@ func ComputeStage() Stage { return computeStage{} }
 func LayoutStage() Stage { return layoutStage{} }
 
 // MemoryStage returns the main-memory pass. It records the layer's minimum
-// DRAM traffic and, when Config.Memory.Enabled, runs the cycle-accurate
-// Ramulator-style simulation that turns it into stall cycles.
+// DRAM traffic and, when Config.Memory.Enabled, turns it into stall cycles
+// at the fidelity selected by WithFidelity: closed-form bounds, the
+// event-driven Ramulator-style replay (default), or the per-cycle
+// reference loops.
 func MemoryStage() Stage { return memoryStage{} }
 
 // EnergyStage returns the Accelergy-style energy/power pass. No-op unless
@@ -109,6 +116,11 @@ func (computeStage) Name() string { return "compute" }
 // CacheFingerprint marks the stage cacheable: its output is a pure
 // function of (Config, Layer).
 func (computeStage) CacheFingerprint() string { return "compute/v1" }
+
+// FidelityLadder declares the compute pass purely analytical: the closed
+// forms (systolic.Estimate, the sparse estimator, the multi-core search)
+// are exact, so every requested tier lowers to the same arithmetic.
+func (computeStage) FidelityLadder() []Fidelity { return []Fidelity{Analytical} }
 
 func (computeStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) error {
 	cfg := sc.Config
@@ -214,6 +226,11 @@ func (layoutStage) Name() string { return "layout" }
 // function of (Config.Layout, dataflow, array shape, GEMM dims).
 func (layoutStage) CacheFingerprint() string { return "layout/v1" }
 
+// FidelityLadder: the closed-form conflict analysis is proven identical to
+// the replay for dense layers, so Analytical lowers to EventDriven;
+// CycleAccurate forces the per-cycle demand replay even for dense layers.
+func (layoutStage) FidelityLadder() []Fidelity { return []Fidelity{EventDriven, CycleAccurate} }
+
 // Apply streams the layer's demand through the bank-conflict analyzer for
 // each operand SRAM and converts the aggregate slowdown into stall cycles.
 //
@@ -292,9 +309,9 @@ func layoutSlowdown(sc *StageContext) (float64, error) {
 		return 0, err
 	}
 	g := systolic.Gemm{M: sc.M, N: sc.N, K: sc.K}
-	if sc.pattern != nil {
-		// Fidelity attribute: irregular layers pay for the per-cycle
-		// replay; dense layers take the proven closed form.
+	if sc.pattern != nil || sc.Fidelity == CycleAccurate {
+		// Irregular layers pay for the per-cycle replay; dense layers take
+		// the proven closed form unless CycleAccurate asks for the oracle.
 		sc.Span.SetAttr("fidelity", "replay")
 		if err := layoutReplay(sc.Dataflow, sc.Rows, sc.Cols, g, ifa, fla, ofa); err != nil {
 			return 0, err
@@ -338,8 +355,18 @@ func (memoryStage) Name() string { return "memory" }
 // function of (Config, Layer) and the state left by the compute stage.
 func (memoryStage) CacheFingerprint() string { return "memory/v1" }
 
+// FidelityLadder: the memory pass distinguishes all three tiers —
+// closed-form traffic/stall bounds (sram.Estimate over the fold schedule),
+// the event-driven SRAM/DRAM replay, and the per-cycle reference loops.
+func (memoryStage) FidelityLadder() []Fidelity {
+	return []Fidelity{Analytical, EventDriven, CycleAccurate}
+}
+
 // Apply records the layer's minimum DRAM traffic and, when the memory
-// model is enabled, runs the three-step Ramulator workflow for the layer.
+// model is enabled, runs the memory workflow for the layer at the
+// requested fidelity: closed-form traffic/stall bounds at Analytical, the
+// event-driven replay at EventDriven (the default), and the per-cycle
+// reference loops at CycleAccurate.
 func (memoryStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) error {
 	cfg := sc.Config
 	lr.DRAMReadWords, lr.DRAMWriteWords = systolic.MinDRAMTraffic(sc.Layer)
@@ -347,18 +374,6 @@ func (memoryStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) e
 		return nil
 	}
 	tech, err := dram.TechByName(cfg.Memory.Technology)
-	if err != nil {
-		return err
-	}
-	qd := cfg.Memory.ReadQueueDepth
-	if cfg.Memory.WriteQueueDepth < qd {
-		qd = cfg.Memory.WriteQueueDepth
-	}
-	sys, err := dram.New(tech, dram.Options{
-		Channels:   cfg.Memory.Channels,
-		QueueDepth: qd,
-		Trace:      sc.Span,
-	})
 	if err != nil {
 		return err
 	}
@@ -376,6 +391,37 @@ func (memoryStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) e
 		return err
 	}
 	sc.Span.SetAttr("folds", len(sched.Folds))
+	if sc.Fidelity == Analytical {
+		// Closed form: exact traffic, bounded stalls, no replay. The
+		// controller-detail columns of the memory row (row hits, queue
+		// pressure, latency) have no analytical meaning and stay zero.
+		sc.Span.SetAttr("engine", "analytical")
+		mres := sram.Estimate(sched, tech, cfg.Memory.Channels, sram.Options{WordBytes: cfg.WordBytes})
+		sc.Span.SetAttr("stall_cycles", mres.StallCycles)
+		lr.StallCycles += mres.StallCycles
+		lr.TotalCycles = lr.ComputeCycles + lr.StallCycles
+		lr.DRAMReadWords = mres.ReadWords
+		lr.DRAMWriteWords = mres.WriteWords
+		lr.ThroughputMBps = mres.ThroughputMBps
+		lr.Memory = report.MemoryRow{
+			LayerName:   lr.Layer.Name,
+			Requests:    mres.ReadRequests + mres.WriteRequests,
+			StallCycles: mres.StallCycles,
+		}
+		return nil
+	}
+	qd := cfg.Memory.ReadQueueDepth
+	if cfg.Memory.WriteQueueDepth < qd {
+		qd = cfg.Memory.WriteQueueDepth
+	}
+	sys, err := dram.New(tech, dram.Options{
+		Channels:   cfg.Memory.Channels,
+		QueueDepth: qd,
+		Trace:      sc.Span,
+	})
+	if err != nil {
+		return err
+	}
 	maxReq := cfg.BandwidthWords * cfg.WordBytes / 64
 	if maxReq < 1 {
 		maxReq = 1
@@ -384,7 +430,11 @@ func (memoryStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) e
 		WordBytes:           cfg.WordBytes,
 		MaxRequestsPerCycle: maxReq,
 		StreamWindowWords:   ifW / 2,
-		Trace:               sc.Span,
+		// CycleAccurate restores the per-cycle oracle loops (the old
+		// sram.Options.ReferenceTickLoop / dram ReferenceTicks booleans),
+		// which also tick the DRAM system cycle by cycle.
+		ReferenceTickLoop: sc.Fidelity == CycleAccurate,
+		Trace:             sc.Span,
 	})
 	if err != nil {
 		return err
@@ -417,6 +467,10 @@ func (energyStage) Name() string { return "energy" }
 // CacheFingerprint marks the stage cacheable: its output is a pure
 // function of (Config, ERT, Layer) and the state left by earlier stages.
 func (energyStage) CacheFingerprint() string { return "energy/v1" }
+
+// FidelityLadder declares the energy pass purely analytical: action counts
+// and the ERT lookup are closed forms at every tier.
+func (energyStage) FidelityLadder() []Fidelity { return []Fidelity{Analytical} }
 
 // Apply runs the Accelergy-style flow for one layer.
 func (energyStage) Apply(_ context.Context, sc *StageContext, lr *LayerResult) error {

@@ -98,7 +98,8 @@ func Sweep(ctx context.Context, points []SweepPoint, opts ...Option) ([]SweepRes
 // runSweepPoint runs one point sequentially, forwarding progress callbacks
 // tagged with the point name.
 func runSweepPoint(ctx context.Context, o *options, mu *sync.Mutex, p *SweepPoint) (*Result, error) {
-	runOpts := []Option{WithParallelism(1), WithERT(o.ert), WithStages(o.stages...), WithCache(o.cache)}
+	runOpts := []Option{WithParallelism(1), WithERT(o.ert), WithStages(o.stages...),
+		WithCache(o.cache), WithFidelity(o.fidelity)}
 	if o.traceEnabled {
 		// Each point collects its own trace, filed under the point name.
 		runOpts = append(runOpts, WithTrace(o.traceDir), withTraceName(p.Name))
